@@ -1,0 +1,70 @@
+"""E4 — §3.1 claim: "The larger the impression, the longer the
+processing time and the smaller the error bounds."
+
+Sweep the impression size over two orders of magnitude, run the same
+COUNT query on each layer, and print (size, cost, relative error).
+Shape checks: cost grows with size; error falls, roughly like 1/√n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import print_series
+from repro.columnstore import AggregateSpec, Query
+from repro.columnstore.expressions import RadialPredicate
+from repro.core.maintenance import rebuild_from_base
+from repro.core.policy import UniformPolicy, build_hierarchy
+from repro.core.quality import ImpressionEstimator
+from repro.util.clock import CostClock
+
+SIZES = (50_000, 10_000, 2_000, 400)
+
+
+@pytest.fixture(scope="module")
+def sized_hierarchy(medium_context):
+    hierarchy = build_hierarchy(
+        "PhotoObjAll", UniformPolicy(layer_sizes=SIZES), rng=808
+    )
+    rebuild_from_base(
+        hierarchy, medium_context.engine.catalog.table("PhotoObjAll")
+    )
+    return hierarchy
+
+
+def test_error_and_cost_vs_impression_size(
+    benchmark, medium_context, sized_hierarchy
+):
+    engine = medium_context.engine
+    query = Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", 150.0, 10.0, 5.0),
+        aggregates=[AggregateSpec("count")],
+    )
+
+    def run():
+        sizes, costs, errors = [], [], []
+        for layer in sized_hierarchy.from_smallest():
+            clock = CostClock()
+            estimator = ImpressionEstimator(engine.catalog, clock=clock)
+            result = estimator.estimate(query, layer)
+            sizes.append(layer.size)
+            costs.append(clock.now)
+            errors.append(result.estimates["count(*)"].relative_error)
+        return np.array(sizes), np.array(costs), np.array(errors)
+
+    sizes, costs, errors = benchmark.pedantic(run, rounds=2, iterations=1)
+
+    print_series(
+        "E4: error bound and cost vs impression size",
+        sizes,
+        {"cost": costs, "relative_error": errors},
+        x_label="size n",
+    )
+
+    # cost rises with size, error falls with size
+    assert (np.diff(costs) > 0).all()
+    assert (np.diff(errors) < 0).all()
+    # error scaling is in the 1/sqrt(n) ballpark: going from the
+    # smallest to the largest layer (125x rows) should shrink error by
+    # at least ~5x (sqrt(125) ≈ 11, allow generous slack)
+    assert errors[0] / errors[-1] > 5.0

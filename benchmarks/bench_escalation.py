@@ -1,0 +1,72 @@
+"""E5 — §3.2 claim: escalation meets the requested error bound by
+moving to more detailed layers, "ultimately ... the base columns for a
+zero error margin."
+
+Sweep the error target from loose to zero and print, per target, the
+layers visited, total cost, and achieved error.  Shape checks: cost is
+non-decreasing as the target tightens; every met target is actually
+met; target 0 lands on the base table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import print_series
+from repro.columnstore import AggregateSpec, Query
+from repro.columnstore.expressions import RadialPredicate
+from repro.core.bounded import QualityContract
+
+TARGETS = (0.5, 0.2, 0.1, 0.05, 0.02, 0.0)
+
+
+def test_escalation_ladder(benchmark, medium_context):
+    engine = medium_context.engine
+    processor = engine.processor("PhotoObjAll")
+    query = Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", 205.0, 40.0, 5.0),
+        aggregates=[AggregateSpec("count")],
+    )
+
+    def run():
+        rows = []
+        for target in TARGETS:
+            outcome = processor.execute(
+                query, QualityContract(max_relative_error=target)
+            )
+            rows.append(
+                (
+                    target,
+                    len(outcome.attempts),
+                    outcome.total_cost,
+                    outcome.achieved_error,
+                    outcome.attempts[-1].rows,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+
+    print("== E5: escalation vs error target ==")
+    print("  target  attempts  cost      achieved  final-rows")
+    for target, attempts, cost, achieved, final_rows in rows:
+        print(
+            f"  {target:<7g} {attempts:<9d} {cost:<9g} "
+            f"{achieved:<9.4g} {final_rows}"
+        )
+
+    targets = np.array([r[0] for r in rows])
+    costs = np.array([r[2] for r in rows])
+    achieved = np.array([r[3] for r in rows])
+    final_rows = np.array([r[4] for r in rows])
+    base_rows = engine.catalog.table("PhotoObjAll").num_rows
+
+    # tighter targets never get cheaper
+    assert (np.diff(costs) >= 0).all()
+    # every target is met (no budget constrains this sweep)
+    assert (achieved <= targets + 1e-12).all()
+    # zero-error lands on the base data
+    assert final_rows[-1] == base_rows
+    assert achieved[-1] == 0.0
+    # loose targets stay on small layers (orders of magnitude below base)
+    assert final_rows[0] <= base_rows / 50

@@ -1,0 +1,85 @@
+"""E3 — §4 claim: biased impressions trade error *outside* the focal
+areas for tighter error *inside* them.
+
+"Intuitively, the upside is that queries that target the area of
+interest have tighter error bounds.  The downside is that the
+confidence of queries that span widely outside of these areas is
+lower."
+
+We run COUNT cone queries inside and outside the focal areas against
+same-sized uniform and biased impressions and compare both the
+*reported* relative error bounds and the *actual* deviation from the
+exact answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import print_series
+from repro.columnstore import AggregateSpec, Query
+from repro.columnstore.expressions import RadialPredicate
+from repro.core.quality import ImpressionEstimator
+
+INSIDE = [(150.0, 10.0), (152.0, 11.0), (148.0, 9.0), (205.0, 40.0), (207.0, 42.0)]
+OUTSIDE = [(130.0, 30.0), (170.0, 50.0), (230.0, 20.0), (180.0, 55.0), (135.0, 52.0)]
+
+
+def cone(ra, dec, radius=4.0) -> Query:
+    return Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", ra, dec, radius),
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+def measured_errors(engine, impression, centres):
+    estimator = ImpressionEstimator(engine.catalog)
+    reported, actual = [], []
+    for ra, dec in centres:
+        q = cone(ra, dec)
+        result = estimator.estimate(q, impression)
+        exact = engine.execute_exact(q).scalar("count(*)")
+        estimate = result.estimates["count(*)"]
+        reported.append(estimate.relative_error)
+        if exact > 0:
+            actual.append(abs(estimate.value - exact) / exact)
+    return float(np.median(reported)), float(np.median(actual))
+
+
+def test_focal_error_tradeoff(benchmark, figure7_samples):
+    engine = figure7_samples["engine"]
+    biased_layer = engine.hierarchy("PhotoObjAll").layer(0)
+
+    # rebuild a same-sized uniform hierarchy for the comparison
+    from repro.core.policy import UniformPolicy, build_hierarchy
+    from repro.core.maintenance import rebuild_from_base
+
+    uniform_hierarchy = build_hierarchy(
+        "PhotoObjAll", UniformPolicy(layer_sizes=(10_000, 1_000)), rng=5150
+    )
+    rebuild_from_base(
+        uniform_hierarchy, engine.catalog.table("PhotoObjAll")
+    )
+    uniform_layer = uniform_hierarchy.layer(0)
+
+    def run():
+        rows = {}
+        for region, centres in (("inside", INSIDE), ("outside", OUTSIDE)):
+            for name, layer in (("uniform", uniform_layer), ("biased", biased_layer)):
+                rows[(region, name)] = measured_errors(engine, layer, centres)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("== E3: median relative error (reported bound / actual) ==")
+    for (region, name), (reported, actual) in rows.items():
+        print(f"  {region:8s} {name:8s} bound={reported:.4f} actual={actual:.4f}")
+
+    inside_uniform = rows[("inside", "uniform")][0]
+    inside_biased = rows[("inside", "biased")][0]
+    outside_uniform = rows[("outside", "uniform")][0]
+    outside_biased = rows[("outside", "biased")][0]
+    # the paper's trade: biased wins inside the focal areas...
+    assert inside_biased < inside_uniform
+    # ...and pays for it outside
+    assert outside_biased > outside_uniform

@@ -1,0 +1,85 @@
+"""E8 — §4 claim: "Since β ≪ N, and β is fixed, f̆(x) can be computed
+in constant time", while f̂ costs O(N) per evaluation.
+
+Sweep the predicate-set size N at fixed β and measure both the
+abstract cost (kernel evaluations per query point) and the wall time
+of evaluating each estimator on a fixed grid.  Shape checks: f̂'s cost
+grows linearly with N; f̆'s stays bounded by β and its *wall time* at
+the largest N beats f̂'s by a wide margin.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.report import print_series
+from repro.stats.bandwidth import silverman_bandwidth
+from repro.stats.histogram import PredicateHistogram
+from repro.stats.kde import BinnedKDE, ExactKDE
+
+BETA = 32
+N_SWEEP = (200, 2_000, 20_000, 100_000)
+GRID = np.linspace(120.0, 240.0, 200)
+
+
+def build_estimators(n, rng):
+    points = np.concatenate(
+        [rng.normal(150, 5, n // 2), rng.normal(205, 8, n - n // 2)]
+    )
+    hist = PredicateHistogram(120.0, 240.0, BETA)
+    hist.observe_batch(points)
+    f_hat = ExactKDE(points, silverman_bandwidth(points))
+    f_breve = BinnedKDE(hist)
+    return f_hat, f_breve
+
+
+def timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def test_kde_cost_scaling(benchmark):
+    rng = np.random.default_rng(888)
+
+    def run():
+        rows = []
+        for n in N_SWEEP:
+            f_hat, f_breve = build_estimators(n, rng)
+            rows.append(
+                (
+                    n,
+                    f_hat.evaluation_cost(),
+                    f_breve.evaluation_cost(),
+                    timed(f_hat.evaluate, GRID),
+                    timed(f_breve.evaluate, GRID),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+
+    print_series(
+        "E8: per-point kernel evaluations and wall time vs N (β=32)",
+        [r[0] for r in rows],
+        {
+            "f_hat_cost": [r[1] for r in rows],
+            "f_breve_cost": [r[2] for r in rows],
+            "f_hat_seconds": [r[3] for r in rows],
+            "f_breve_seconds": [r[4] for r in rows],
+        },
+        x_label="N",
+    )
+
+    n = np.array([r[0] for r in rows])
+    hat_cost = np.array([r[1] for r in rows])
+    breve_cost = np.array([r[2] for r in rows])
+    hat_time = np.array([r[3] for r in rows])
+    breve_time = np.array([r[4] for r in rows])
+
+    # f̂ cost is exactly N; f̆ cost is bounded by β at every N
+    np.testing.assert_array_equal(hat_cost, n)
+    assert (breve_cost <= BETA).all()
+    # at the largest N the binned estimator is much faster in practice
+    assert breve_time[-1] < hat_time[-1] / 10

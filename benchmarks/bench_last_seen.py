@@ -1,0 +1,66 @@
+"""E7 — Figure 3 claims: Last Seen retains recent tuples; ``k < n``
+targets "a ratio of k/n new tuples in the sample".
+
+Simulate 10 daily ingests of D tuples and measure, per keep-ratio, the
+fraction of the impression drawn from the latest ingest; compare with
+the closed-form expectation and with Algorithm R (which has no recency
+preference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sampling.last_seen import LastSeenReservoir
+from repro.sampling.reservoir import ReservoirR
+
+CAPACITY = 2_000
+DAILY = 20_000
+DAYS = 10
+KEEP_RATIOS = (1.0, 0.5, 0.25)
+
+
+def run_simulation():
+    samplers = {
+        f"last-seen k/n={ratio}": LastSeenReservoir(
+            CAPACITY,
+            daily_ingest=DAILY,
+            keep=int(CAPACITY * ratio),
+            rng=900 + i,
+        )
+        for i, ratio in enumerate(KEEP_RATIOS)
+    }
+    samplers["algorithm-R"] = ReservoirR(CAPACITY, rng=999)
+    for day in range(DAYS):
+        ids = np.arange(day * DAILY, (day + 1) * DAILY)
+        for sampler in samplers.values():
+            sampler.offer_batch(ids)
+    newest_cutoff = (DAYS - 1) * DAILY
+    rows = {}
+    for name, sampler in samplers.items():
+        measured = float((sampler.row_ids >= newest_cutoff).mean())
+        expected = (
+            sampler.expected_recent_fraction()
+            if isinstance(sampler, LastSeenReservoir)
+            else CAPACITY / (DAYS * DAILY) * DAILY / CAPACITY  # = 1/DAYS
+        )
+        rows[name] = (measured, expected)
+    return rows
+
+
+def test_last_seen_recency(benchmark):
+    rows = benchmark.pedantic(run_simulation, rounds=2, iterations=1)
+
+    print("== E7: fraction of sample from the latest daily ingest ==")
+    for name, (measured, expected) in rows.items():
+        print(f"  {name:22s} measured={measured:.3f} expected={expected:.3f}")
+
+    # closed form matches measurement for every keep ratio
+    for ratio in KEEP_RATIOS:
+        measured, expected = rows[f"last-seen k/n={ratio}"]
+        assert measured == pytest.approx(expected, abs=0.05)
+    # recency ordering: higher k/n keeps more fresh tuples
+    fractions = [rows[f"last-seen k/n={r}"][0] for r in KEEP_RATIOS]
+    assert fractions[0] > fractions[1] > fractions[2]
+    # all of them beat uniform sampling's 1/DAYS share
+    assert fractions[-1] > rows["algorithm-R"][0]
+    assert rows["algorithm-R"][0] == pytest.approx(1 / DAYS, abs=0.03)

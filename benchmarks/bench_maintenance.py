@@ -1,0 +1,54 @@
+"""E9 — §3.1 claim: "smaller impressions on higher layers are more
+efficient to maintain since they only touch the data of the impression
+one layer below, and not the entire base."
+
+Compare the cost (tuples streamed) of refreshing the small layers from
+the layer below against rebuilding the same layers from the base.
+Shape check: refresh cost tracks the layer-below size; the ratio to a
+base rebuild is the base/layer-0 size ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.maintenance import rebuild_from_base, refresh_hierarchy
+from repro.core.policy import UniformPolicy, build_hierarchy
+from repro.util.clock import CostClock
+
+LAYERS = (20_000, 2_000, 200)
+
+
+def test_refresh_vs_rebuild_cost(benchmark, medium_context):
+    base = medium_context.engine.catalog.table("PhotoObjAll")
+    hierarchy = build_hierarchy(
+        "PhotoObjAll", UniformPolicy(layer_sizes=LAYERS), rng=606
+    )
+    rebuild_from_base(hierarchy, base)  # initial population
+
+    def run():
+        refresh_clock = CostClock()
+        refresh_reports = refresh_hierarchy(hierarchy, base, refresh_clock)
+        rebuild_clock = CostClock()
+        rebuild_from_base(hierarchy, base, rebuild_clock)
+        return refresh_clock.now, rebuild_clock.now, refresh_reports
+
+    refresh_cost, rebuild_cost, reports = benchmark.pedantic(
+        run, rounds=2, iterations=1
+    )
+
+    print("== E9: maintenance cost, refresh-from-below vs rebuild ==")
+    for report in reports:
+        print(
+            f"  refresh {report.target}: streamed {report.tuples_streamed} "
+            f"tuples from {report.source}"
+        )
+    print(f"  total refresh cost:  {refresh_cost:g} tuples")
+    print(f"  total rebuild cost:  {rebuild_cost:g} tuples")
+    print(f"  saving: {rebuild_cost / refresh_cost:.1f}x")
+
+    # refresh touches exactly the two parent layers
+    assert refresh_cost == LAYERS[0] + LAYERS[1]
+    # rebuild touches the base once per layer
+    assert rebuild_cost == len(LAYERS) * base.num_rows
+    # the paper's point: an order of magnitude (or more) cheaper
+    assert rebuild_cost / refresh_cost > 10

@@ -1,0 +1,104 @@
+"""An astronomer's exploration session (paper §2.1 workload).
+
+Run:  python examples/skyserver_exploration.py
+
+Reproduces the paper's motivating scenario: a scientist iterates
+cone searches (``fGetNearbyObjEq``) around objects of interest.  The
+engine logs every query, mines the predicate set, and — once the
+interest model is warm — biased impressions concentrate on the focal
+areas, making focal queries cheap AND tight.  Also demonstrates the
+paper's LIMIT semantics (§3.2): representative rows instead of "the
+lucky N first tuples".
+"""
+
+import numpy as np
+
+from repro import AggregateSpec, Query, SciBorq
+from repro.skyserver import (
+    WorkloadGenerator,
+    build_skyserver,
+    create_skyserver_catalog,
+    nearby_query,
+    register_skyserver_views,
+)
+from repro.skyserver.functions import nearby_count_query
+from repro.skyserver.schema import DEC_RANGE, RA_RANGE
+
+
+def main() -> None:
+    engine = SciBorq(
+        create_skyserver_catalog(),
+        interest_attributes={"ra": RA_RANGE, "dec": DEC_RANGE},
+        rng=7,
+    )
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="uniform", layer_sizes=(30_000, 3_000, 300)
+    )
+    build_skyserver(300_000, loader=engine.loader, rng=8)
+    register_skyserver_views(engine.catalog)
+
+    # --- phase 1: the scientist works; the engine watches -------------
+    workload = WorkloadGenerator(rng=9)
+    print("phase 1: running 300 exploratory queries (interest builds up)")
+    for query in workload.queries(300):
+        engine.execute(query)
+    ra_interest = engine.interest.interest_for("ra")
+    print(f"  predicate set: N = {ra_interest.predicate_set_size} ra values")
+    hot = engine.query_log.most_common_fingerprints(1)[0]
+    print(f"  hottest query shape repeated {hot[1]}x")
+    print()
+
+    # --- phase 2: switch to biased impressions ------------------------
+    print("phase 2: rebuilding impressions with workload bias (πps)")
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="biased", layer_sizes=(30_000, 3_000, 300)
+    )
+    engine.rebuild("PhotoObjAll")
+    layer0 = engine.hierarchy("PhotoObjAll").layer(0)
+    base = engine.catalog.table("PhotoObjAll")
+    sample_ra = layer0.materialise(base)["ra"]
+    focal_share = ((sample_ra > 135) & (sample_ra < 165)).mean()
+    base_share = ((base["ra"] > 135) & (base["ra"] < 165)).mean()
+    print(
+        f"  ra in [135,165]: {focal_share:.1%} of the impression vs "
+        f"{base_share:.1%} of the base data"
+    )
+    print()
+
+    # --- phase 3: focal queries are now cheap and tight ---------------
+    print("phase 3: a focal cone count with a 5% bound")
+    outcome = engine.execute(
+        nearby_count_query(150.0, 10.0, 3.0), max_relative_error=0.05
+    )
+    print(outcome.describe())
+    estimate = outcome.result.estimates["count(*)"]
+    exact = engine.execute_exact(nearby_count_query(150.0, 10.0, 3.0))
+    print(f"  estimate: {estimate}")
+    print(f"  exact:    {exact.scalar('count(*)'):g}")
+    print()
+
+    # --- phase 4: the paper's LIMIT semantics --------------------------
+    print("phase 4: LIMIT 10 — representative rows, not the first 10")
+    limited = engine.execute(
+        nearby_query(150.0, 10.0, 10.0, select=("objID", "ra", "dec"), limit=10)
+    )
+    ids = limited.result.rows["objID"]
+    print(f"  sampled objIDs span the whole table: min={ids.min()}, max={ids.max()}")
+    print(f"  estimated matching population: {limited.result.support}")
+    print()
+
+    # --- phase 5: a Galaxy-view aggregate through the same machinery ---
+    print("phase 5: Galaxy view (obj_type filter + Photoz join)")
+    galaxy_outcome = engine.execute(
+        Query(
+            table="Galaxy",
+            aggregates=[AggregateSpec("count"), AggregateSpec("avg", "z_est")],
+        ),
+        max_relative_error=0.1,
+    )
+    for name, estimate in galaxy_outcome.result.estimates.items():
+        print(f"  {name} = {estimate}")
+
+
+if __name__ == "__main__":
+    main()

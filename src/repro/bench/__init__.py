@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment records, fixtures, shape checks.
+
+Every benchmark in ``benchmarks/`` regenerates one of the paper's
+evaluation artefacts (DESIGN.md §3).  This subpackage supplies the
+shared machinery: a deterministic experiment context (seeded engine +
+populated SkyServer), result records that print as the paper's
+rows/series, and the *shape assertions* that encode "who wins, by
+roughly what factor, where crossovers fall" without pinning absolute
+numbers.
+"""
+
+from repro.bench.harness import (
+    ExperimentContext,
+    figure4_series,
+    figure7_series,
+    build_experiment_context,
+)
+from repro.bench.report import print_series, print_histogram_panel
+
+__all__ = [
+    "ExperimentContext",
+    "figure4_series",
+    "figure7_series",
+    "build_experiment_context",
+    "print_series",
+    "print_histogram_panel",
+]

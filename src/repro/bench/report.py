@@ -1,0 +1,48 @@
+"""Text rendering of benchmark output.
+
+The paper's figures become printed panels: histograms as bar rows,
+density curves as (x, y) series tables.  Everything goes through
+these two helpers so ``pytest benchmarks/ -s`` output is uniform and
+diff-able between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.textplot import ascii_histogram, format_table
+
+
+def print_series(
+    title: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    max_rows: int = 40,
+) -> str:
+    """Render aligned (x, series...) rows; returns what was printed."""
+    headers = [x_label] + list(series)
+    xs = np.asarray(xs, dtype=float)
+    columns = [np.asarray(v, dtype=float) for v in series.values()]
+    stride = max(1, int(np.ceil(xs.shape[0] / max_rows)))
+    rows = [
+        [float(xs[i])] + [float(col[i]) for col in columns]
+        for i in range(0, xs.shape[0], stride)
+    ]
+    text = f"== {title} ==\n" + format_table(headers, rows)
+    print(text)
+    return text
+
+
+def print_histogram_panel(
+    title: str,
+    counts: Sequence[float],
+    edges: Sequence[float] | None = None,
+    width: int = 48,
+) -> str:
+    """Render one histogram panel; returns what was printed."""
+    text = ascii_histogram(counts, edges, width=width, title=f"== {title} ==")
+    print(text)
+    return text

@@ -1,0 +1,149 @@
+"""A single typed column with amortised append.
+
+MonetDB stores every attribute as a Binary Association Table; the
+reproduction keeps the essence — one contiguous typed array per
+attribute — using numpy for the vectorised scans the samplers and
+operators rely on.  Appends grow a backing buffer geometrically so the
+daily-ingest load path (paper §3.3) stays O(1) amortised per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+_MIN_CAPACITY = 16
+
+
+class Column:
+    """A named, typed, append-only vector of values.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"ra"``.
+    dtype:
+        Any numpy dtype specifier.  Strings use numpy unicode dtypes
+        (fixed-width), which is adequate for the categorical attributes
+        of the SkyServer stand-in.
+    values:
+        Optional initial contents.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: Union[str, np.dtype] = "float64",
+        values: Iterable | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        self._dtype = np.dtype(dtype)
+        self._size = 0
+        self._data = np.empty(_MIN_CAPACITY, dtype=self._dtype)
+        if values is not None:
+            self.extend(values)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype of stored values."""
+        return self._dtype
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def values(self) -> np.ndarray:
+        """A read-only view of the live region of the column.
+
+        The view aliases internal storage; callers must not mutate it.
+        It is invalidated by the next append that triggers a regrow,
+        which is why operators copy (materialise) before returning.
+        """
+        view = self._data[: self._size]
+        view.flags.writeable = False
+        return view
+
+    def to_numpy(self) -> np.ndarray:
+        """An owned copy of the column contents."""
+        return self._data[: self._size].copy()
+
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            if not -self._size <= index < self._size:
+                raise IndexError(
+                    f"index {index} out of range for column {self.name!r} "
+                    f"of length {self._size}"
+                )
+            return self._data[index if index >= 0 else self._size + index]
+        return self.values[index]
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, dtype={self._dtype}, len={self._size})"
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _grow_to(self, capacity: int) -> None:
+        if capacity <= self._data.shape[0]:
+            return
+        new_capacity = max(_MIN_CAPACITY, self._data.shape[0])
+        while new_capacity < capacity:
+            new_capacity *= 2
+        new_data = np.empty(new_capacity, dtype=self._dtype)
+        new_data[: self._size] = self._data[: self._size]
+        self._data = new_data
+
+    def append(self, value) -> None:
+        """Append a single value, coercing to the column dtype."""
+        self._grow_to(self._size + 1)
+        self._data[self._size] = value
+        self._size += 1
+
+    def extend(self, values: Iterable) -> None:
+        """Append many values at once (the vectorised load path)."""
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if arr.ndim != 1:
+            raise SchemaError(
+                f"column {self.name!r} expects 1-d input, got shape {arr.shape}"
+            )
+        try:
+            arr = arr.astype(self._dtype, casting="same_kind", copy=False)
+        except TypeError as exc:
+            raise SchemaError(
+                f"cannot load dtype {arr.dtype} into column "
+                f"{self.name!r} of dtype {self._dtype}"
+            ) from exc
+        self._grow_to(self._size + arr.shape[0])
+        self._data[self._size : self._size + arr.shape[0]] = arr
+        self._size += arr.shape[0]
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """A new column holding ``values[indices]`` (materialised)."""
+        return Column(self.name, self._dtype, self.values[np.asarray(indices)])
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """A new column holding rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self._size:
+            raise SchemaError(
+                f"mask of length {mask.shape[0]} does not match column "
+                f"{self.name!r} of length {self._size}"
+            )
+        return Column(self.name, self._dtype, self.values[mask])
+
+    def nbytes(self) -> int:
+        """Approximate live payload size in bytes (excludes slack)."""
+        return int(self._size * self._dtype.itemsize)

@@ -1,0 +1,246 @@
+"""The query executor: runs a Query against a table and accounts cost.
+
+The executor is deliberately retarget-able: ``execute`` takes an
+optional ``fact_table`` override, so the *same* Query object can run
+against the base table or against any impression of it.  That is the
+hook SciBORQ's bounded query processor uses to escalate between layers
+mid-session (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.columnstore import operators
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.operators import OperatorStats
+from repro.columnstore.query import Query
+from repro.columnstore.recycler import Recycler
+from repro.columnstore.table import Table
+from repro.errors import QueryError
+from repro.util.clock import CostClock, WallClock
+
+
+@dataclass
+class ExecutionStats:
+    """Cost breakdown of one query execution."""
+
+    source: str
+    source_rows: int
+    operators: List[OperatorStats] = field(default_factory=list)
+    recycled: bool = False
+
+    @property
+    def total_cost(self) -> int:
+        """Total tuples touched across all operators."""
+        return sum(op.cost for op in self.operators)
+
+    def add(self, op: OperatorStats) -> None:
+        """Record one operator invocation."""
+        self.operators.append(op)
+
+    def describe(self) -> str:
+        """One line per operator, for EXPLAIN ANALYZE style output."""
+        lines = [
+            f"source={self.source} rows={self.source_rows} "
+            f"cost={self.total_cost}" + (" (recycled)" if self.recycled else "")
+        ]
+        lines.extend(
+            f"  {op.operator}: in={op.tuples_in} out={op.tuples_out}"
+            for op in self.operators
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryResult:
+    """The answer to a query plus its execution statistics.
+
+    ``rows`` is populated for row-returning queries and for grouped
+    aggregates; ``scalars`` for ungrouped aggregates.  Aggregates
+    computed over an impression are *raw sample statistics* — scaling
+    to population estimates with error bounds is the job of
+    :mod:`repro.core.quality`, which needs the impression's metadata.
+    """
+
+    query: Query
+    stats: ExecutionStats
+    rows: Optional[Table] = None
+    scalars: Optional[Dict[str, float]] = None
+
+    @property
+    def is_scalar(self) -> bool:
+        """Whether the result is a dict of ungrouped aggregates."""
+        return self.scalars is not None
+
+    def scalar(self, name: str) -> float:
+        """Look up one ungrouped aggregate by output name."""
+        if self.scalars is None:
+            raise QueryError("query did not produce scalar aggregates")
+        try:
+            return self.scalars[name]
+        except KeyError:
+            raise QueryError(
+                f"no aggregate named {name!r}; have {sorted(self.scalars)}"
+            ) from None
+
+
+class Executor:
+    """Executes queries against a catalog, charging a cost clock.
+
+    Parameters
+    ----------
+    catalog:
+        Where fact and dimension tables are resolved.
+    clock:
+        Cost clock charged one unit per tuple touched.  Defaults to a
+        private :class:`CostClock`.
+    recycler:
+        Optional intermediate-result cache consulted for selections.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        clock: Optional[CostClock | WallClock] = None,
+        recycler: Optional[Recycler] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.clock = clock if clock is not None else CostClock()
+        self.recycler = recycler
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        fact_table: Optional[Table] = None,
+    ) -> QueryResult:
+        """Run ``query``; ``fact_table`` overrides catalog resolution.
+
+        The override is how impressions are queried: the query still
+        *names* the base table, but the rows come from the sample.
+        """
+        if self.catalog.has_view(query.table):
+            query = _expand_view(self.catalog, query)
+        source = fact_table if fact_table is not None else self.catalog.table(query.table)
+        stats = ExecutionStats(source=source.name, source_rows=source.num_rows)
+
+        working = self._apply_selection(query, source, stats)
+        working = self._apply_joins(query, working, stats)
+
+        if query.is_aggregate:
+            return self._finish_aggregate(query, working, stats)
+        return self._finish_rows(query, working, stats)
+
+    # ------------------------------------------------------------------
+    def _apply_selection(
+        self, query: Query, source: Table, stats: ExecutionStats
+    ) -> Table:
+        indices: Optional[np.ndarray] = None
+        if self.recycler is not None:
+            indices = self.recycler.lookup(source, query.predicate)
+            if indices is not None:
+                stats.recycled = True
+                stats.add(OperatorStats("select(recycled)", 0, indices.shape[0]))
+        if indices is None:
+            indices, op = operators.select(source, query.predicate)
+            self.clock.charge(op.cost)
+            stats.add(op)
+            if self.recycler is not None:
+                self.recycler.store(source, query.predicate, indices)
+        return source.take(indices, f"{source.name}#sel")
+
+    def _apply_joins(
+        self, query: Query, working: Table, stats: ExecutionStats
+    ) -> Table:
+        for join in query.joins:
+            right = self.catalog.table(join.right_table)
+            left_idx, right_idx, op = operators.equi_join(
+                working, right, join.left_on, join.right_on
+            )
+            self.clock.charge(op.cost)
+            stats.add(op)
+            working = operators.materialise_join(
+                working,
+                right,
+                left_idx,
+                right_idx,
+                join.projection,
+                name=f"{working.name}⨝{right.name}",
+            )
+        return working
+
+    def _finish_aggregate(
+        self, query: Query, working: Table, stats: ExecutionStats
+    ) -> QueryResult:
+        if query.group_by:
+            result, op = operators.group_aggregate(
+                working, query.group_by, query.aggregates
+            )
+            self.clock.charge(op.cost)
+            stats.add(op)
+            if query.order_by:
+                result, op = operators.sort(
+                    result, query.order_by, query.descending
+                )
+                self.clock.charge(op.cost)
+                stats.add(op)
+            if query.limit is not None:
+                result, op = operators.limit(result, query.limit)
+                self.clock.charge(op.cost)
+                stats.add(op)
+            return QueryResult(query=query, stats=stats, rows=result)
+        scalars, op = operators.aggregate(working, query.aggregates)
+        self.clock.charge(op.cost)
+        stats.add(op)
+        return QueryResult(query=query, stats=stats, scalars=scalars)
+
+    def _finish_rows(
+        self, query: Query, working: Table, stats: ExecutionStats
+    ) -> QueryResult:
+        if query.order_by:
+            working, op = operators.sort(working, query.order_by, query.descending)
+            self.clock.charge(op.cost)
+            stats.add(op)
+        if query.limit is not None:
+            working, op = operators.limit(working, query.limit)
+            self.clock.charge(op.cost)
+            stats.add(op)
+        if query.select:
+            missing = [n for n in query.select if not working.has_column(n)]
+            if missing:
+                raise QueryError(
+                    f"projection references missing columns {missing} "
+                    f"(available: {working.column_names})"
+                )
+            working = working.project(query.select, f"{working.name}#proj")
+        return QueryResult(query=query, stats=stats, rows=working)
+
+
+def _expand_view(catalog: Catalog, query: Query) -> Query:
+    """Rewrite a query over a view into one over the view's base table.
+
+    The view's predicate is AND-ed with the query's own, and the view's
+    joins are prepended — enough to model SkyServer's ``Galaxy`` view
+    (a predicate plus FK joins over ``PhotoObjAll``, paper §2.1).
+    """
+    from repro.columnstore.expressions import And, TruePredicate
+
+    view_query = catalog.view(query.table)
+    predicate = query.predicate
+    if not isinstance(view_query.predicate, TruePredicate):
+        predicate = And([view_query.predicate, predicate])
+    return Query(
+        table=view_query.table,
+        predicate=predicate,
+        select=query.select,
+        aggregates=query.aggregates,
+        group_by=query.group_by,
+        joins=tuple(view_query.joins) + tuple(query.joins),
+        order_by=query.order_by,
+        descending=query.descending,
+        limit=query.limit,
+    )

@@ -1,0 +1,124 @@
+"""The load pipeline: bulk and incremental ingest with observer hooks.
+
+Impressions "are constructed with little overhead during the load
+phase, without the need to visit the base tables after the data is
+stored.  The construction algorithms reside in the load process,
+considering each tuple as it is being loaded, much like a stream"
+(paper §3.3).  This module is that load process: observers —
+impression builders, interest models, statistics — register per table
+and are handed every batch as it streams through.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.columnstore.catalog import Catalog
+from repro.errors import LoadError
+
+
+class LoadObserver:
+    """Interface for components that ride along the load stream.
+
+    ``on_batch`` receives the column-wise batch *after* it has been
+    appended, together with the index of its first row in the base
+    table, so observers can record base-table row ids for the tuples
+    they keep.
+    """
+
+    def on_batch(
+        self,
+        table_name: str,
+        start_row: int,
+        batch: Mapping[str, np.ndarray],
+    ) -> None:
+        """Handle one appended batch."""
+        raise NotImplementedError
+
+
+class Loader:
+    """Appends batches to catalog tables and fans them out to observers."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._observers: Dict[str, List[LoadObserver]] = defaultdict(list)
+        self._rows_loaded: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # observer registry
+    # ------------------------------------------------------------------
+    def register(self, table_name: str, observer: LoadObserver) -> None:
+        """Attach an observer to future loads of ``table_name``."""
+        if not isinstance(observer, LoadObserver):
+            raise TypeError(
+                f"observer must be a LoadObserver, got {type(observer).__name__}"
+            )
+        self._observers[table_name].append(observer)
+
+    def unregister(self, table_name: str, observer: LoadObserver) -> None:
+        """Detach a previously registered observer."""
+        try:
+            self._observers[table_name].remove(observer)
+        except ValueError:
+            raise LoadError(
+                f"observer not registered for table {table_name!r}"
+            ) from None
+
+    def observers_of(self, table_name: str) -> list[LoadObserver]:
+        """Observers currently attached to ``table_name``."""
+        return list(self._observers.get(table_name, ()))
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def load_batch(
+        self, table_name: str, batch: Mapping[str, np.ndarray | Sequence]
+    ) -> int:
+        """Append one column-wise batch; notify observers; return count."""
+        table = self.catalog.table(table_name)
+        start_row = table.num_rows
+        arrays = {name: np.asarray(values) for name, values in batch.items()}
+        count = table.append_batch(arrays)
+        for observer in self._observers.get(table_name, ()):
+            observer.on_batch(table_name, start_row, arrays)
+        self._rows_loaded[table_name] += count
+        return count
+
+    def load_rows(
+        self,
+        table_name: str,
+        rows: Iterable[Mapping[str, object]],
+        batch_size: int = 4096,
+    ) -> int:
+        """Append an iterable of row dicts, batching for efficiency.
+
+        This is the "much like a stream" tuple-at-a-time entry point;
+        rows are buffered into column-wise batches of ``batch_size``
+        before hitting :meth:`load_batch`.
+        """
+        if batch_size <= 0:
+            raise LoadError(f"batch_size must be positive, got {batch_size}")
+        total = 0
+        buffer: list[Mapping[str, object]] = []
+        for row in rows:
+            buffer.append(row)
+            if len(buffer) >= batch_size:
+                total += self._flush_rows(table_name, buffer)
+                buffer = []
+        if buffer:
+            total += self._flush_rows(table_name, buffer)
+        return total
+
+    def _flush_rows(
+        self, table_name: str, rows: list[Mapping[str, object]]
+    ) -> int:
+        columns = {key: [row[key] for row in rows] for key in rows[0]}
+        return self.load_batch(table_name, columns)
+
+    # ------------------------------------------------------------------
+    def rows_loaded(self, table_name: str) -> int:
+        """Total rows this loader has appended to ``table_name``."""
+        return self._rows_loaded.get(table_name, 0)

@@ -1,0 +1,112 @@
+"""Intermediate-result recycler (Ivanova et al., SIGMOD 2009, ref [13]).
+
+MonetDB's recycler caches operator intermediates and reuses them when a
+later query contains the same sub-plan.  The paper leans on it twice:
+it "already facilitates" keeping the tuples a workload touched
+(paper §3.3), and its existence is why re-routing running queries
+between impressions is practical (§3.2).
+
+The reproduction caches *selection index vectors* keyed by
+``(table name, table version, predicate fingerprint)``.  Keying on the
+version makes invalidation free: an append bumps the version, and stale
+entries simply stop matching (and age out by LRU).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.columnstore.expressions import Expression
+from repro.columnstore.table import Table
+
+_Key = Tuple[str, int, str]
+
+
+@dataclass
+class RecyclerStats:
+    """Hit/miss counters, exposed for the recycler benchmark (E11)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stored: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Recycler:
+    """An LRU cache of selection results with a byte budget.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Upper bound on the summed size of cached index vectors.  The
+        default (16 MiB) holds thousands of cone-search selections.
+    """
+
+    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[_Key, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.stats = RecyclerStats()
+
+    # ------------------------------------------------------------------
+    def _key(self, table: Table, predicate: Expression) -> _Key:
+        return (table.name, table.version, predicate.fingerprint())
+
+    def lookup(self, table: Table, predicate: Expression) -> Optional[np.ndarray]:
+        """Return cached selection indices, or None on a miss.
+
+        A hit refreshes the entry's LRU position.
+        """
+        key = self._key(table, predicate)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, table: Table, predicate: Expression, indices: np.ndarray) -> None:
+        """Cache selection indices, evicting LRU entries to fit."""
+        indices = np.asarray(indices)
+        if indices.nbytes > self.capacity_bytes:
+            return  # would evict everything and still not fit
+        key = self._key(table, predicate)
+        if key in self._entries:
+            self._bytes -= self._entries[key].nbytes
+            del self._entries[key]
+        while self._bytes + indices.nbytes > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.stats.evictions += 1
+        self._entries[key] = indices
+        self._bytes += indices.nbytes
+        self.stats.stored += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+        self._bytes = 0

@@ -1,0 +1,212 @@
+"""Tables: ordered collections of equal-length columns.
+
+A :class:`Table` is both a base relation and an operator intermediate —
+MonetDB's defining trait of full materialisation (paper §3.2) is what
+lets SciBORQ re-route parts of a running query to a different
+impression, so the reproduction keeps every intermediate as a concrete
+Table.  Tables also carry a monotone ``version`` (bumped on every
+append) that the recycler and impression maintenance use to detect
+staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.errors import LoadError, SchemaError, UnknownColumnError
+
+
+class Table:
+    """A named relation stored column-wise.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"PhotoObjAll"``.
+    columns:
+        Mapping of column name to dtype specifier, or ready
+        :class:`Column` objects (all the same length).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, object] | Sequence[Column],
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self._columns: Dict[str, Column] = {}
+        self._version = 0
+        if isinstance(columns, Mapping):
+            for col_name, spec in columns.items():
+                if isinstance(spec, Column):
+                    self._adopt(spec)
+                else:
+                    self._adopt(Column(col_name, spec))
+        else:
+            for col in columns:
+                self._adopt(col)
+        self._check_rectangular()
+
+    def _adopt(self, column: Column) -> None:
+        if column.name in self._columns:
+            raise SchemaError(
+                f"duplicate column {column.name!r} in table {self.name!r}"
+            )
+        self._columns[column.name] = column
+
+    def _check_rectangular(self) -> None:
+        lengths = {len(c) for c in self._columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"table {self.name!r} has ragged columns: lengths {sorted(lengths)}"
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of tuples in the relation."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return list(self._columns)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every append batch."""
+        return self._version
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table declares a column called ``name``."""
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` called ``name`` (raises if absent)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise UnknownColumnError(self.name, name) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Shorthand for ``table.column(name).values``."""
+        return self.column(name).values
+
+    def row(self, index: int) -> dict:
+        """Row ``index`` as a plain dict (for tests and examples)."""
+        if not -self.num_rows <= index < self.num_rows:
+            raise IndexError(
+                f"row {index} out of range for table {self.name!r} "
+                f"with {self.num_rows} rows"
+            )
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterable[dict]:
+        """Iterate rows as dicts.  Slow; meant for tests and examples."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def nbytes(self) -> int:
+        """Approximate payload size of all columns in bytes."""
+        return sum(col.nbytes() for col in self._columns.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, columns={self.column_names}, "
+            f"rows={self.num_rows})"
+        )
+
+    # ------------------------------------------------------------------
+    # mutation (the load path)
+    # ------------------------------------------------------------------
+    def append_batch(self, batch: Mapping[str, np.ndarray | Sequence]) -> int:
+        """Append a column-wise batch of tuples; returns rows appended.
+
+        The batch must cover *exactly* the table's columns, and all
+        arrays must be the same length.  Partial or ragged batches are
+        rejected before any column is touched, so a failed append never
+        leaves the table in a ragged state.
+        """
+        missing = set(self._columns) - set(batch)
+        extra = set(batch) - set(self._columns)
+        if missing or extra:
+            raise LoadError(
+                f"batch for table {self.name!r} mismatch: "
+                f"missing={sorted(missing)}, unexpected={sorted(extra)}"
+            )
+        arrays = {name: np.asarray(values) for name, values in batch.items()}
+        lengths = {arr.shape[0] if arr.ndim else 1 for arr in arrays.values()}
+        if len(lengths) != 1:
+            raise LoadError(
+                f"ragged batch for table {self.name!r}: lengths {sorted(lengths)}"
+            )
+        (count,) = lengths
+        for name, arr in arrays.items():
+            self._columns[name].extend(arr)
+        self._version += 1
+        return int(count)
+
+    def append_row(self, row: Mapping[str, object]) -> None:
+        """Append a single tuple given as a dict (tuple-at-a-time path)."""
+        self.append_batch({name: [value] for name, value in row.items()})
+
+    # ------------------------------------------------------------------
+    # derivation (materialised intermediates)
+    # ------------------------------------------------------------------
+    def empty_like(self, name: str | None = None) -> "Table":
+        """A new empty table with this table's schema."""
+        return Table(
+            name or f"{self.name}#empty",
+            {n: c.dtype for n, c in self._columns.items()},
+        )
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        """Materialise the rows at ``indices`` into a new table."""
+        indices = np.asarray(indices)
+        return Table(
+            name or f"{self.name}#take",
+            [col.take(indices) for col in self._columns.values()],
+        )
+
+    def filter(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """Materialise the rows where ``mask`` holds into a new table."""
+        return Table(
+            name or f"{self.name}#filter",
+            [col.filter(mask) for col in self._columns.values()],
+        )
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "Table":
+        """Materialise a column subset (column-store projection)."""
+        for n in names:
+            if n not in self._columns:
+                raise UnknownColumnError(self.name, n)
+        return Table(
+            name or f"{self.name}#project",
+            [
+                Column(n, self._columns[n].dtype, self._columns[n].values)
+                for n in names
+            ],
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, name: str, arrays: Mapping[str, np.ndarray | Sequence]
+    ) -> "Table":
+        """Build a table directly from column arrays (test/generator path)."""
+        columns = []
+        for col_name, values in arrays.items():
+            arr = np.asarray(values)
+            columns.append(Column(col_name, arr.dtype, arr))
+        return cls(name, columns)

@@ -1,0 +1,63 @@
+"""The core SciBORQ system: impressions, bounds, and the engine facade.
+
+* :mod:`repro.core.impression` — an impression: a named, sized,
+  policy-built sample of a base table with inclusion-probability
+  metadata and cached materialisation.
+* :mod:`repro.core.hierarchy` — the multi-layer collection: "each
+  less detailed impression is derived from a previous more detailed
+  one" (paper §3.1).
+* :mod:`repro.core.policy` — Uniform / Biased / LastSeen construction
+  policies and the hierarchy factory.
+* :mod:`repro.core.builder` — the load observer that feeds every
+  layer during (incremental) loads.
+* :mod:`repro.core.quality` — population estimates with confidence
+  intervals for queries answered from an impression.
+* :mod:`repro.core.bounded` — the bounded query processor: error- and
+  time-bounded execution with layer escalation (paper §3.2).
+* :mod:`repro.core.maintenance` — refresh layers from the layer
+  below, decay interest, react to drift.
+* :mod:`repro.core.engine` — :class:`SciBorq`, the one-stop facade.
+"""
+
+from repro.core.impression import Impression
+from repro.core.hierarchy import ImpressionHierarchy
+from repro.core.policy import (
+    UniformPolicy,
+    BiasedPolicy,
+    LastSeenPolicy,
+    build_hierarchy,
+)
+from repro.core.builder import ImpressionBuilder
+from repro.core.quality import EstimatedResult, ImpressionEstimator
+from repro.core.bounded import (
+    QualityContract,
+    BoundedResult,
+    ExecutionAttempt,
+    BoundedQueryProcessor,
+)
+from repro.core.engine import SciBorq
+from repro.core.persistence import (
+    load_hierarchy,
+    read_snapshot_metadata,
+    save_hierarchy,
+)
+
+__all__ = [
+    "load_hierarchy",
+    "read_snapshot_metadata",
+    "save_hierarchy",
+    "Impression",
+    "ImpressionHierarchy",
+    "UniformPolicy",
+    "BiasedPolicy",
+    "LastSeenPolicy",
+    "build_hierarchy",
+    "ImpressionBuilder",
+    "EstimatedResult",
+    "ImpressionEstimator",
+    "QualityContract",
+    "BoundedResult",
+    "ExecutionAttempt",
+    "BoundedQueryProcessor",
+    "SciBorq",
+]

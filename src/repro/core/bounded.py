@@ -1,0 +1,367 @@
+"""Bounded query processing: error and time bounds with escalation.
+
+This is the paper's §3.2 in executable form:
+
+* **Quality bound** — "if the error bound requested is not met during
+  execution, the query evaluation moves to an impression on a lower
+  level, with a higher level of detail, to confine the error margin.
+  Ultimately, this can lead to the base columns for a zero error
+  margin."  The processor walks the hierarchy cheapest-first, assesses
+  each answer's worst relative error, and escalates until the bound
+  holds (the base table being the final, exact rung).
+* **Time bound** — "give me the most representative result you can
+  obtain within 5 minutes."  Costs are pre-estimated per rung
+  (tuples-touched model, see :mod:`repro.columnstore.plan`); rungs
+  that do not fit the remaining budget are skipped, and the best
+  answer obtained within budget is returned with its achieved error.
+
+The default mode degrades gracefully — it always returns the best
+answer it could afford, flagging ``met_quality``/``met_budget``.
+``strict=True`` raises instead (:class:`~repro.errors.QualityBoundError`
+/ :class:`~repro.errors.BudgetExceededError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.executor import Executor
+from repro.columnstore.plan import estimate_cost
+from repro.columnstore.query import Query
+from repro.core.hierarchy import ImpressionHierarchy
+from repro.core.impression import Impression
+from repro.core.quality import EstimatedResult, ImpressionEstimator
+from repro.errors import (
+    BudgetExceededError,
+    EstimationError,
+    QualityBoundError,
+    QueryError,
+)
+from repro.util.clock import Budget, CostClock, WallClock
+
+
+@dataclass(frozen=True)
+class QualityContract:
+    """What the user demands of a query's answer.
+
+    Parameters
+    ----------
+    max_relative_error:
+        Upper bound on the worst relative error across the reported
+        estimates (None: no quality requirement).
+    time_budget:
+        Upper bound on execution cost, in the clock's units (cost
+        units for :class:`CostClock`, seconds for wall clocks).
+        None: no time requirement.
+    confidence:
+        Confidence level at which relative errors are assessed.
+    strict:
+        Raise instead of degrading gracefully when a bound cannot be
+        met.
+    """
+
+    max_relative_error: Optional[float] = None
+    time_budget: Optional[float] = None
+    confidence: float = 0.95
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_relative_error is not None and self.max_relative_error < 0:
+            raise QueryError(
+                f"max_relative_error must be non-negative, "
+                f"got {self.max_relative_error}"
+            )
+        if self.time_budget is not None and self.time_budget < 0:
+            raise QueryError(
+                f"time_budget must be non-negative, got {self.time_budget}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise QueryError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+
+@dataclass(frozen=True)
+class ExecutionAttempt:
+    """One rung of the escalation ladder, as actually executed."""
+
+    source: str
+    rows: int
+    cost: float
+    relative_error: float
+    satisfied: bool
+
+
+@dataclass
+class BoundedResult:
+    """The outcome of a bounded execution."""
+
+    result: EstimatedResult
+    attempts: List[ExecutionAttempt] = field(default_factory=list)
+    met_quality: bool = True
+    met_budget: bool = True
+    total_cost: float = 0.0
+
+    @property
+    def achieved_error(self) -> float:
+        """Worst relative error of the returned answer."""
+        return self.result.worst_relative_error
+
+    @property
+    def escalations(self) -> int:
+        """How many rungs beyond the first were tried."""
+        return max(0, len(self.attempts) - 1)
+
+    def describe(self) -> str:
+        """Multi-line trace of the escalation ladder."""
+        lines = [
+            f"bounded execution: {len(self.attempts)} attempt(s), "
+            f"total cost {self.total_cost:g}, "
+            f"achieved error {self.achieved_error:.4g}, "
+            f"quality={'met' if self.met_quality else 'MISSED'}, "
+            f"budget={'met' if self.met_budget else 'EXCEEDED'}"
+        ]
+        lines.extend(
+            f"  [{i}] {a.source}: rows={a.rows} cost={a.cost:g} "
+            f"error={a.relative_error:.4g} "
+            f"{'✓' if a.satisfied else '✗'}"
+            for i, a in enumerate(self.attempts)
+        )
+        return "\n".join(lines)
+
+
+class BoundedQueryProcessor:
+    """Executes queries under quality contracts over a hierarchy.
+
+    Parameters
+    ----------
+    catalog:
+        Base and dimension tables.
+    hierarchy:
+        The impression ladder for the fact table.
+    clock:
+        Shared cost clock (one per session); budgets are opened
+        against it per query.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        hierarchy: ImpressionHierarchy,
+        clock: Optional[CostClock | WallClock] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.hierarchy = hierarchy
+        self.clock = clock if clock is not None else CostClock()
+        self.estimator = ImpressionEstimator(catalog, clock=self.clock)
+        self._base_executor = Executor(catalog, clock=self.clock)
+        # wall-clock mode: tuples-per-second throughput, calibrated
+        # from observed rung executions (None until the first rung)
+        self._throughput: Optional[float] = None
+
+    def _budget_units(self, predicted_cost: float) -> float:
+        """Convert a tuples-touched prediction into the clock's units.
+
+        A :class:`CostClock` charges tuples directly.  A wall clock
+        measures seconds, so the prediction is divided by the
+        calibrated throughput; before any calibration every rung looks
+        affordable (optimistic start, the paper's interactive bias).
+        """
+        if not isinstance(self.clock, WallClock):
+            return predicted_cost
+        if self._throughput is None or self._throughput <= 0:
+            return 0.0
+        return predicted_cost / self._throughput
+
+    def _observe_throughput(self, predicted_cost: float, elapsed: float) -> None:
+        if not isinstance(self.clock, WallClock) or elapsed <= 0:
+            return
+        observed = predicted_cost / elapsed
+        if self._throughput is None:
+            self._throughput = observed
+        else:
+            self._throughput = 0.5 * (self._throughput + observed)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: Query, contract: QualityContract | None = None
+    ) -> BoundedResult:
+        """Answer ``query`` under ``contract`` (default: unconstrained).
+
+        With no contract the smallest covering impression answers —
+        the interactive-exploration default.  The base table is always
+        the ladder's last rung.
+        """
+        contract = contract if contract is not None else QualityContract()
+        if query.table != self.hierarchy.base_table:
+            raise QueryError(
+                f"processor serves {self.hierarchy.base_table!r}, "
+                f"query targets {query.table!r}"
+            )
+        base = self.catalog.table(query.table)
+        budget = Budget(self.clock, contract.time_budget)
+        ladder: List[Optional[Impression]] = list(
+            self.hierarchy.candidates_for(query, base)
+        )
+        ladder.append(None)  # the base table: exact, most expensive
+
+        outcome = BoundedResult(result=None)  # type: ignore[arg-type]
+        best: Optional[EstimatedResult] = None
+        best_error = float("inf")
+        for rung in ladder:
+            cost = self._predicted_cost(query, rung, base)
+            cost_units = self._budget_units(cost)
+            if outcome.attempts and not budget.affords(cost_units):
+                # We already have an answer and the next rung does not
+                # fit the remaining budget: stop escalating.
+                break
+            if (
+                not outcome.attempts
+                and not budget.affords(cost_units)
+                and rung is not None
+            ):
+                # Nothing answered yet; skip rungs that cannot fit,
+                # but never skip every rung — the smallest impression
+                # is the answer of last resort (handled below).
+                if self._has_smaller_affordable(query, base, budget, rung):
+                    continue
+            spent_before = budget.spent
+            try:
+                result = self._run_rung(query, rung, contract.confidence, base)
+            except EstimationError:
+                # the rung's sample holds no tuple this query needs
+                # (e.g. AVG over a region the tiny layer missed):
+                # record an unanswerable attempt and escalate.
+                outcome.attempts.append(
+                    ExecutionAttempt(
+                        source=base.name if rung is None else rung.name,
+                        rows=base.num_rows if rung is None else rung.size,
+                        cost=budget.spent - spent_before,
+                        relative_error=float("inf"),
+                        satisfied=False,
+                    )
+                )
+                continue
+            attempt_error = result.worst_relative_error
+            self._observe_throughput(cost, budget.spent - spent_before)
+            satisfied = (
+                contract.max_relative_error is None
+                or attempt_error <= contract.max_relative_error
+            )
+            outcome.attempts.append(
+                ExecutionAttempt(
+                    source=result.source,
+                    rows=base.num_rows if rung is None else rung.size,
+                    cost=budget.spent - spent_before,
+                    relative_error=attempt_error,
+                    satisfied=satisfied,
+                )
+            )
+            if attempt_error < best_error or best is None:
+                best, best_error = result, attempt_error
+            if satisfied:
+                break
+
+        if best is None:
+            # every affordable rung was unanswerable (e.g. AVG over a
+            # region no sample covers, budget blocking the base): the
+            # base table is the answer of last resort.
+            spent_before = budget.spent
+            best = self._run_rung(query, None, contract.confidence, base)
+            best_error = best.worst_relative_error
+            outcome.attempts.append(
+                ExecutionAttempt(
+                    source=base.name,
+                    rows=base.num_rows,
+                    cost=budget.spent - spent_before,
+                    relative_error=best_error,
+                    satisfied=contract.max_relative_error is None
+                    or best_error <= contract.max_relative_error,
+                )
+            )
+        outcome.result = best
+        outcome.total_cost = budget.spent
+        outcome.met_quality = (
+            contract.max_relative_error is None
+            or best_error <= contract.max_relative_error
+        )
+        outcome.met_budget = (
+            contract.time_budget is None or budget.spent <= contract.time_budget
+        )
+        if contract.strict and not outcome.met_quality:
+            raise QualityBoundError(contract.max_relative_error, best_error)
+        if contract.strict and not outcome.met_budget:
+            raise BudgetExceededError(contract.time_budget, budget.spent)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _predicted_cost(
+        self, query: Query, rung: Optional[Impression], base
+    ) -> float:
+        if rung is None:
+            return estimate_cost(query, self.catalog).total_cost
+        fact = rung.materialise(base)
+        return estimate_cost(query, self.catalog, fact_table=fact).total_cost
+
+    def _has_smaller_affordable(
+        self, query: Query, base, budget: Budget, current: Impression
+    ) -> bool:
+        for impression in self.hierarchy.candidates_for(query, base):
+            if impression.size < current.size and budget.affords(
+                self._budget_units(self._predicted_cost(query, impression, base))
+            ):
+                return True
+        return False
+
+    def _run_rung(
+        self,
+        query: Query,
+        rung: Optional[Impression],
+        confidence: float,
+        base,
+    ) -> EstimatedResult:
+        if rung is not None:
+            return self.estimator.estimate(query, rung, confidence)
+        exact = self._base_executor.execute(query)
+        if query.is_aggregate and not query.group_by:
+            estimates = {
+                name: _exact_estimate(value, confidence, base.num_rows)
+                for name, value in (exact.scalars or {}).items()
+            }
+            return EstimatedResult(
+                query=query,
+                source=base.name,
+                stats=exact.stats,
+                estimates=estimates,
+                exact=True,
+            )
+        if query.group_by:
+            return EstimatedResult(
+                query=query,
+                source=base.name,
+                stats=exact.stats,
+                groups=exact.rows,
+                exact=True,
+            )
+        return EstimatedResult(
+            query=query,
+            source=base.name,
+            stats=exact.stats,
+            rows=exact.rows,
+            exact=True,
+        )
+
+
+def _exact_estimate(value: float, confidence: float, population: int):
+    from repro.stats.estimators import Estimate
+
+    return Estimate(
+        value=float(value),
+        se=0.0,
+        confidence=confidence,
+        method="exact",
+        sample_size=population,
+        population_size=population,
+    )

@@ -1,0 +1,107 @@
+"""The impression builder: a load observer feeding every layer.
+
+"Impressions ... are constructed with little overhead during the load
+phase, without the need to visit the base tables after the data is
+stored" (paper §3.3).  The builder registers with the
+:class:`~repro.columnstore.loader.Loader`; each appended batch is
+offered — as a stream of (row id, values) — to every impression
+registered for that table.  Samplers that don't inspect values
+(Algorithm R, Last Seen) get only the row ids; the biased reservoir
+receives the column batch so it can evaluate the interest mass.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.columnstore.loader import LoadObserver
+from repro.core.impression import Impression
+from repro.sampling.biased import BiasedReservoir
+from repro.sampling.extrema import ExtremaReservoir
+from repro.sampling.icicles import SelfTuningReservoir
+
+
+class ImpressionBuilder(LoadObserver):
+    """Routes load batches into all registered impressions.
+
+    One builder serves any number of hierarchies and tables; register
+    it once per table with the loader, then attach impressions.
+    """
+
+    def __init__(self) -> None:
+        self._impressions: Dict[str, List[Impression]] = defaultdict(list)
+        self._extrema: Dict[str, List[ExtremaReservoir]] = defaultdict(list)
+        self._self_tuning: Dict[str, List[SelfTuningReservoir]] = defaultdict(
+            list
+        )
+        self.batches_processed = 0
+        self.tuples_processed = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def attach(self, impression: Impression) -> None:
+        """Register an impression for its base table's future loads."""
+        self._impressions[impression.base_table].append(impression)
+
+    def attach_hierarchy(self, hierarchy) -> None:
+        """Register every layer of a hierarchy."""
+        for impression in hierarchy.layers:
+            self.attach(impression)
+
+    def attach_extrema(self, table_name: str, reservoir: ExtremaReservoir) -> None:
+        """Register an extrema reservoir (outlier impressions)."""
+        self._extrema[table_name].append(reservoir)
+
+    def attach_self_tuning(
+        self, table_name: str, reservoir: SelfTuningReservoir
+    ) -> None:
+        """Register an ICICLES-style self-tuning reservoir."""
+        self._self_tuning[table_name].append(reservoir)
+
+    def detach(self, impression: Impression) -> None:
+        """Unregister an impression (e.g. a dropped hierarchy)."""
+        try:
+            self._impressions[impression.base_table].remove(impression)
+        except ValueError:
+            pass
+
+    def impressions_of(self, table_name: str) -> list[Impression]:
+        """Impressions currently fed by ``table_name`` loads."""
+        return list(self._impressions.get(table_name, ()))
+
+    # ------------------------------------------------------------------
+    # the load hook
+    # ------------------------------------------------------------------
+    def on_batch(
+        self,
+        table_name: str,
+        start_row: int,
+        batch: Mapping[str, np.ndarray],
+    ) -> None:
+        """Offer one appended batch to every registered impression."""
+        targets = self._impressions.get(table_name, ())
+        extrema = self._extrema.get(table_name, ())
+        tuning = self._self_tuning.get(table_name, ())
+        if not targets and not extrema and not tuning:
+            return
+        lengths = {np.asarray(v).shape[0] for v in batch.values()}
+        (count,) = lengths or {0}
+        if count == 0:
+            return
+        row_ids = np.arange(start_row, start_row + count, dtype=np.int64)
+        for impression in targets:
+            if isinstance(impression.sampler, BiasedReservoir):
+                impression.sampler.offer_batch(row_ids, batch)
+            else:
+                impression.sampler.offer_batch(row_ids)
+            impression.set_inclusion_override(None)
+        for reservoir in extrema:
+            reservoir.offer_batch(row_ids, batch)
+        for reservoir in tuning:
+            reservoir.offer_batch(row_ids)
+        self.batches_processed += 1
+        self.tuples_processed += count

@@ -1,0 +1,458 @@
+"""The SciBORQ engine: the one-stop facade over the whole system.
+
+A :class:`SciBorq` instance wires together everything the paper
+describes: the catalog and load pipeline, the query log, the interest
+model over the attributes of scientific interest, impression
+hierarchies under a chosen policy, drift-driven maintenance, and
+bounded query execution.  The typical session:
+
+>>> from repro.skyserver import create_skyserver_catalog, build_skyserver
+>>> from repro.skyserver.schema import RA_RANGE, DEC_RANGE
+>>> engine = SciBorq(
+...     create_skyserver_catalog(),
+...     interest_attributes={"ra": RA_RANGE, "dec": DEC_RANGE},
+...     rng=7,
+... )
+>>> engine.create_hierarchy("PhotoObjAll", policy="uniform",
+...                         layer_sizes=(20_000, 2_000))
+>>> build_skyserver(100_000, loader=engine.loader, rng=8)   # doctest: +ELLIPSIS
+(...)
+>>> result = engine.execute(some_query, max_relative_error=0.1)
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.executor import Executor
+from repro.columnstore.loader import Loader
+from repro.columnstore.query import Query
+from repro.columnstore.recycler import Recycler
+from repro.core.bounded import (
+    BoundedQueryProcessor,
+    BoundedResult,
+    QualityContract,
+)
+from repro.core.builder import ImpressionBuilder
+from repro.core.hierarchy import ImpressionHierarchy
+from repro.core.maintenance import (
+    MaintenancePlanner,
+    RefreshReport,
+    rebuild_from_base,
+    refresh_hierarchy,
+)
+from repro.core.policy import (
+    BiasedPolicy,
+    LastSeenPolicy,
+    Policy,
+    UniformPolicy,
+    build_hierarchy,
+)
+from repro.errors import ImpressionError, QueryError
+from repro.sampling.extrema import ExtremaReservoir
+from repro.sampling.icicles import SelfTuningReservoir
+from repro.stats.estimators import Estimate
+from repro.util.clock import CostClock, WallClock
+from repro.util.rng import RandomSource, ensure_rng
+from repro.workload.drift import DriftDetector
+from repro.workload.interest import InterestModel
+from repro.workload.log import QueryLog
+from repro.workload.predicates import PredicateSetCollector
+
+
+class SciBorq:
+    """Scientific data management with Bounds On Runtime and Quality.
+
+    Parameters
+    ----------
+    catalog:
+        The database (tables + FKs); usually a fresh SkyServer
+        catalog, populated through :attr:`loader` *after* hierarchies
+        are created so impressions build during the load.
+    interest_attributes:
+        Domains of the attributes of scientific interest, e.g.
+        ``{"ra": (120, 240), "dec": (0, 60)}``.
+    bins:
+        β for every interest histogram.
+    drift_window / drift_threshold:
+        Configuration of the per-attribute drift detectors.
+    clock:
+        Cost clock; defaults to a deterministic tuples-touched clock.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        interest_attributes: Mapping[str, Tuple[float, float]],
+        bins: int = 32,
+        drift_window: int = 200,
+        drift_threshold: float = 0.35,
+        recycler_bytes: int | None = 16 * 1024 * 1024,
+        clock: Optional[CostClock | WallClock] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        if not interest_attributes:
+            raise ImpressionError("need at least one attribute of interest")
+        self.catalog = catalog
+        self.clock = clock if clock is not None else CostClock()
+        self.rng = ensure_rng(rng)
+        self.loader = Loader(catalog)
+        self.builder = ImpressionBuilder()
+        self.recycler = Recycler(recycler_bytes) if recycler_bytes else None
+        self.query_log = QueryLog()
+        self.interest = InterestModel(interest_attributes, bins=bins)
+        self.collector = PredicateSetCollector(tuple(interest_attributes))
+        self.collector.subscribe(self.interest.observe_values)
+        self.planner = MaintenancePlanner(
+            interest=self.interest,
+            detectors={
+                name: DriftDetector(domain, bins, drift_window, drift_threshold)
+                for name, domain in interest_attributes.items()
+            },
+        )
+        self.collector.subscribe(self.planner.observe)
+        # hierarchies: table -> hierarchy-name -> hierarchy, plus a
+        # per-table default name ("many such hierarchies of impressions
+        # exist", paper §3.1 — e.g. a biased and a last-seen hierarchy
+        # over the same fact table, chosen per query).
+        self._hierarchies: Dict[str, Dict[str, ImpressionHierarchy]] = {}
+        self._processors: Dict[str, Dict[str, BoundedQueryProcessor]] = {}
+        self._default_hierarchy: Dict[str, str] = {}
+        self._extrema: Dict[Tuple[str, str], ExtremaReservoir] = {}
+        self._self_tuning: Dict[str, SelfTuningReservoir] = {}
+        self._base_executor = Executor(
+            catalog, clock=self.clock, recycler=self.recycler
+        )
+
+    # ------------------------------------------------------------------
+    # hierarchy management
+    # ------------------------------------------------------------------
+    def create_hierarchy(
+        self,
+        table: str,
+        policy: Policy | str = "biased",
+        layer_sizes: Optional[Sequence[int]] = None,
+        columns: Optional[Sequence[str]] = None,
+        daily_ingest: Optional[int] = None,
+        name: Optional[str] = None,
+        make_default: bool = True,
+    ) -> ImpressionHierarchy:
+        """Create (and register for loads) a hierarchy for ``table``.
+
+        ``policy`` may be a policy object or one of the shorthand
+        strings ``"uniform"``, ``"biased"``, ``"last-seen"``.  A table
+        may carry several named hierarchies at once ("many such
+        hierarchies of impressions exist", paper §3.1): ``name``
+        defaults to the policy kind, re-creating an existing name
+        replaces it, and ``make_default`` controls which hierarchy
+        unnamed :meth:`execute` calls use.
+        """
+        self.catalog.table(table)  # validate existence
+        policy = self._resolve_policy(policy, layer_sizes, daily_ingest)
+        hierarchy_name = name or policy.kind
+        hierarchy = build_hierarchy(
+            table,
+            policy,
+            name=f"{table}/{hierarchy_name}",
+            columns=columns,
+            rng=self.rng,
+        )
+        table_hierarchies = self._hierarchies.setdefault(table, {})
+        previous = table_hierarchies.get(hierarchy_name)
+        if previous is not None:
+            for impression in previous.layers:
+                self.builder.detach(impression)
+        table_hierarchies[hierarchy_name] = hierarchy
+        self._processors.setdefault(table, {})[hierarchy_name] = (
+            BoundedQueryProcessor(self.catalog, hierarchy, clock=self.clock)
+        )
+        if make_default or table not in self._default_hierarchy:
+            self._default_hierarchy[table] = hierarchy_name
+        self.builder.attach_hierarchy(hierarchy)
+        if self.builder not in self.loader.observers_of(table):
+            self.loader.register(table, self.builder)
+        return hierarchy
+
+    def drop_hierarchy(self, table: str, name: str) -> None:
+        """Remove a named hierarchy (its layers stop receiving loads)."""
+        try:
+            hierarchy = self._hierarchies[table].pop(name)
+            self._processors[table].pop(name, None)
+        except KeyError:
+            raise ImpressionError(
+                f"no hierarchy named {name!r} for table {table!r}"
+            ) from None
+        for impression in hierarchy.layers:
+            self.builder.detach(impression)
+        if self._default_hierarchy.get(table) == name:
+            remaining = self._hierarchies[table]
+            if remaining:
+                self._default_hierarchy[table] = next(iter(remaining))
+            else:
+                del self._default_hierarchy[table]
+
+    def _resolve_policy(
+        self,
+        policy: Policy | str,
+        layer_sizes: Optional[Sequence[int]],
+        daily_ingest: Optional[int],
+    ) -> Policy:
+        if not isinstance(policy, str):
+            return policy
+        sizes = tuple(layer_sizes) if layer_sizes else None
+        if policy == "uniform":
+            return UniformPolicy(sizes) if sizes else UniformPolicy()
+        if policy == "biased":
+            if sizes:
+                return BiasedPolicy(self.interest, sizes)
+            return BiasedPolicy(self.interest)
+        if policy == "last-seen":
+            if daily_ingest is None:
+                raise ImpressionError(
+                    "last-seen policy needs daily_ingest (the paper's D)"
+                )
+            if sizes:
+                return LastSeenPolicy(daily_ingest, layer_sizes=sizes)
+            return LastSeenPolicy(daily_ingest)
+        raise ImpressionError(
+            f"unknown policy {policy!r}; expected 'uniform', 'biased', "
+            f"or 'last-seen'"
+        )
+
+    def _resolve_name(self, table: str, name: Optional[str]) -> str:
+        if name is not None:
+            return name
+        try:
+            return self._default_hierarchy[table]
+        except KeyError:
+            raise ImpressionError(
+                f"no hierarchy created for table {table!r}"
+            ) from None
+
+    def hierarchy(
+        self, table: str, name: Optional[str] = None
+    ) -> ImpressionHierarchy:
+        """A hierarchy for ``table`` (the default one if unnamed)."""
+        resolved = self._resolve_name(table, name)
+        try:
+            return self._hierarchies[table][resolved]
+        except KeyError:
+            raise ImpressionError(
+                f"no hierarchy named {resolved!r} for table {table!r}"
+            ) from None
+
+    def hierarchy_names(self, table: str) -> list[str]:
+        """Names of all hierarchies registered for ``table``."""
+        return list(self._hierarchies.get(table, ()))
+
+    def processor(
+        self, table: str, name: Optional[str] = None
+    ) -> BoundedQueryProcessor:
+        """The bounded query processor for one hierarchy of ``table``."""
+        resolved = self._resolve_name(table, name)
+        try:
+            return self._processors[table][resolved]
+        except KeyError:
+            raise ImpressionError(
+                f"no hierarchy named {resolved!r} for table {table!r}"
+            ) from None
+
+    def track_extrema(
+        self, table: str, attribute: str, capacity: int = 128
+    ) -> ExtremaReservoir:
+        """Maintain an outlier impression for MIN/MAX on an attribute."""
+        reservoir = ExtremaReservoir(capacity, attribute)
+        self._extrema[(table, attribute)] = reservoir
+        self.builder.attach_extrema(table, reservoir)
+        if self.builder not in self.loader.observers_of(table):
+            self.loader.register(table, self.builder)
+        return reservoir
+
+    def enable_result_recycling(
+        self, table: str, capacity: int = 10_000, result_boost: float = 1.0
+    ) -> SelfTuningReservoir:
+        """Maintain an ICICLES-style self-tuning sample (paper §5).
+
+        The reservoir sees the load stream like any impression, and —
+        the self-tuning part — every base-data query whose selection
+        the recycler captured re-offers its result rows, so the sample
+        drifts toward the workload's working set.  Read it via
+        :meth:`self_tuning_sample`.
+        """
+        reservoir = SelfTuningReservoir(capacity, result_boost, rng=self.rng)
+        self._self_tuning[table] = reservoir
+        self.builder.attach_self_tuning(table, reservoir)
+        if self.builder not in self.loader.observers_of(table):
+            self.loader.register(table, self.builder)
+        return reservoir
+
+    def self_tuning_sample(self, table: str) -> SelfTuningReservoir:
+        """The self-tuning reservoir for ``table`` (raises if absent)."""
+        try:
+            return self._self_tuning[table]
+        except KeyError:
+            raise ImpressionError(
+                f"result recycling not enabled for table {table!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def ingest(self, table: str, batch: Mapping[str, np.ndarray]) -> int:
+        """Append a batch; impressions update as it streams through."""
+        return self.loader.load_batch(table, batch)
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        max_relative_error: Optional[float] = None,
+        time_budget: Optional[float] = None,
+        confidence: float = 0.95,
+        strict: bool = False,
+        hierarchy: Optional[str] = None,
+    ) -> BoundedResult:
+        """Answer a query under runtime/quality bounds.
+
+        Every execution also feeds the workload machinery: the query
+        is logged, its predicates extend the predicate set (steering
+        future biased sampling), and the drift detectors see the new
+        values.  ``hierarchy`` selects a named hierarchy; the table's
+        default is used otherwise.
+        """
+        if self.catalog.has_view(query.table):
+            from repro.columnstore.executor import _expand_view
+
+            query = _expand_view(self.catalog, query)
+        self.query_log.record(query)
+        self.collector.observe(query)
+        if query.table not in self._processors or not self._processors[query.table]:
+            raise QueryError(
+                f"no hierarchy for table {query.table!r}; create one or "
+                f"use engine.execute_exact"
+            )
+        processor = self.processor(query.table, hierarchy)
+        contract = QualityContract(
+            max_relative_error=max_relative_error,
+            time_budget=time_budget,
+            confidence=confidence,
+            strict=strict,
+        )
+        outcome = processor.execute(query, contract)
+        self._apply_extrema(query, outcome)
+        return outcome
+
+    def execute_exact(self, query: Query):
+        """Run a query on the base data, bypassing impressions.
+
+        If result recycling is enabled for the table, the rows this
+        query touched are re-offered to the self-tuning sample (the
+        ICICLES side-effect, paper §5).
+        """
+        self.query_log.record(query)
+        self.collector.observe(query)
+        result = self._base_executor.execute(query)
+        reservoir = self._self_tuning.get(query.table)
+        if reservoir is not None and self.recycler is not None:
+            base = self.catalog.table(query.table)
+            touched = self.recycler.lookup(base, query.predicate)
+            if touched is not None:
+                reservoir.offer_results(touched)
+        return result
+
+    def _apply_extrema(self, query: Query, outcome: BoundedResult) -> None:
+        """Overwrite MIN/MAX estimates with exact extrema when tracked."""
+        estimates = outcome.result.estimates
+        if not estimates or outcome.result.exact:
+            return
+        for spec in query.aggregates:
+            if spec.fn not in ("min", "max") or spec.column is None:
+                continue
+            reservoir = self._extrema.get((query.table, spec.column))
+            if reservoir is None or reservoir.size == 0:
+                continue
+            from repro.columnstore.expressions import TruePredicate
+
+            if not isinstance(query.predicate, TruePredicate):
+                continue  # extrema are exact only for unfiltered queries
+            exact_value = (
+                reservoir.minimum if spec.fn == "min" else reservoir.maximum
+            )
+            old = estimates[spec.output_name]
+            estimates[spec.output_name] = Estimate(
+                value=exact_value,
+                se=0.0,
+                confidence=old.confidence,
+                method=f"extrema-{spec.fn}",
+                sample_size=reservoir.size,
+                population_size=old.population_size,
+            )
+
+    # ------------------------------------------------------------------
+    # maintenance path
+    # ------------------------------------------------------------------
+    def maintain(self) -> Dict[str, list[RefreshReport]]:
+        """React to drift for every hierarchy (paper's fast reflexes).
+
+        Returns refresh reports per table for hierarchies whose
+        workload drifted; quiet hierarchies are untouched.
+        """
+        drifted = self.planner.drifted_attributes()
+        if not drifted:
+            return {}
+        self.planner.drift_events += 1
+        self.interest.decay(self.planner.decay_factor)
+        for attribute in drifted:
+            self.planner.detectors[attribute].reset_reference()
+        reports: Dict[str, list[RefreshReport]] = {}
+        for table, named in self._hierarchies.items():
+            base = self.catalog.table(table)
+            table_reports: list[RefreshReport] = []
+            for hierarchy in named.values():
+                table_reports.extend(
+                    refresh_hierarchy(hierarchy, base, self.clock)
+                )
+            reports[table] = table_reports
+        return reports
+
+    def refresh(
+        self, table: str, hierarchy: Optional[str] = None
+    ) -> list[RefreshReport]:
+        """Cheaply refresh ``table``'s smaller layers from below."""
+        target = self.hierarchy(table, hierarchy)
+        return refresh_hierarchy(
+            target, self.catalog.table(table), self.clock
+        )
+
+    def rebuild(
+        self, table: str, hierarchy: Optional[str] = None
+    ) -> list[RefreshReport]:
+        """Expensively rebuild all layers of ``table`` from the base.
+
+        Needed when bias must be (re)applied to already-loaded data,
+        e.g. after the first workload burst on a database loaded cold.
+        """
+        target = self.hierarchy(table, hierarchy)
+        return rebuild_from_base(
+            target, self.catalog.table(table), self.clock
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Engine state overview for examples and debugging."""
+        lines = [self.catalog.summary()]
+        for named in self._hierarchies.values():
+            for hierarchy in named.values():
+                lines.append(hierarchy.describe())
+        lines.append(
+            f"query log: {len(self.query_log)} entries; interest: "
+            f"{self.interest!r}; drift events: {self.planner.drift_events}"
+        )
+        lines.append(f"clock: {self.clock.now:g} cost units")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Multi-layer impression hierarchies.
+
+"SciBORQ is a multi-layer hierarchical and parallel collection of
+impressions. ... Each less detailed impression is derived from a
+previous more detailed one.  In such a derivation, the focal point of
+the larger impression is inherited by the smaller, but many such
+hierarchies of impressions exist.  If the error bounds during query
+execution are not met, the process continues on a larger impression
+of the same hierarchy" (paper §3.1).
+
+Layer 0 is the most detailed (largest) impression; higher layers are
+smaller and cheaper.  The bounded query processor walks a hierarchy
+smallest-first and escalates toward layer 0 — and ultimately the base
+table — until the quality contract is satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.columnstore.query import Query
+from repro.columnstore.table import Table
+from repro.core.impression import Impression
+from repro.errors import ImpressionError
+
+
+class ImpressionHierarchy:
+    """An ordered stack of impressions over one base table.
+
+    Parameters
+    ----------
+    name:
+        Hierarchy name, e.g. ``"PhotoObjAll/biased"``.
+    base_table:
+        The table all layers sample.
+    layers:
+        Impressions ordered most-detailed first (layer 0 largest);
+        capacities must strictly decrease.
+    """
+
+    def __init__(
+        self, name: str, base_table: str, layers: Sequence[Impression]
+    ) -> None:
+        if not layers:
+            raise ImpressionError("a hierarchy needs at least one layer")
+        for impression in layers:
+            if impression.base_table != base_table:
+                raise ImpressionError(
+                    f"layer {impression.name!r} samples "
+                    f"{impression.base_table!r}, not {base_table!r}"
+                )
+        capacities = [impression.capacity for impression in layers]
+        if any(a <= b for a, b in zip(capacities, capacities[1:])):
+            raise ImpressionError(
+                f"layer capacities must strictly decrease, got {capacities}"
+            )
+        self.name = name
+        self.base_table = base_table
+        self._layers = list(layers)
+        for index, impression in enumerate(self._layers):
+            impression.layer = index
+
+    # ------------------------------------------------------------------
+    @property
+    def layers(self) -> list[Impression]:
+        """Layers, most detailed (largest) first."""
+        return list(self._layers)
+
+    @property
+    def depth(self) -> int:
+        """Number of layers."""
+        return len(self._layers)
+
+    def layer(self, index: int) -> Impression:
+        """The impression at layer ``index`` (0 = most detailed)."""
+        try:
+            return self._layers[index]
+        except IndexError:
+            raise ImpressionError(
+                f"hierarchy {self.name!r} has {self.depth} layers, "
+                f"no layer {index}"
+            ) from None
+
+    def from_smallest(self) -> Iterator[Impression]:
+        """Iterate layers cheapest-first (the escalation order)."""
+        return iter(reversed(self._layers))
+
+    def from_largest(self) -> Iterator[Impression]:
+        """Iterate layers most-detailed-first."""
+        return iter(self._layers)
+
+    # ------------------------------------------------------------------
+    def candidates_for(self, query: Query, base: Table) -> list[Impression]:
+        """Layers able to answer ``query``, cheapest first.
+
+        A layer qualifies if it covers every column the query reads
+        (column-subset impressions may not).
+        """
+        return [
+            impression
+            for impression in self.from_smallest()
+            if impression.covers(query, base)
+        ]
+
+    def largest_within_cost(self, budget_rows: float) -> Impression | None:
+        """The most detailed layer whose size fits a row budget.
+
+        This is the time-bound entry point: scanning cost is
+        proportional to rows, so the layer chosen is the best quality
+        the budget affords.  Returns None if even the smallest layer
+        is too big.
+        """
+        for impression in self.from_largest():
+            if impression.size <= budget_rows:
+                return impression
+        return None
+
+    def total_rows(self) -> int:
+        """Sum of layer sizes (the hierarchy's storage footprint)."""
+        return sum(impression.size for impression in self._layers)
+
+    def describe(self) -> str:
+        """One line per layer, for examples and logs."""
+        lines = [f"hierarchy {self.name} over {self.base_table}:"]
+        lines.extend(
+            f"  layer {impression.layer}: {impression.name} "
+            f"({impression.size}/{impression.capacity} rows)"
+            for impression in self._layers
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        sizes = [impression.capacity for impression in self._layers]
+        return f"ImpressionHierarchy({self.name!r}, capacities={sizes})"

@@ -1,0 +1,201 @@
+"""Impressions: the paper's central artefact.
+
+"Impressions are of different size, ranging from a few kilobytes to
+many gigabytes.  Depending on their size, an impression fits either in
+the CPU cache, or the main memory of a workstation, or resides on the
+disk of a laptop or even a cluster" (paper §3).  An
+:class:`Impression` wraps a sampler (which owns the statistical
+behaviour) with identity, layer position, optional column subset
+(paper §3.1 "Correlations"), and cached materialisation as a
+queryable :class:`~repro.columnstore.table.Table`.
+
+The materialised table always carries a hidden ``_pi`` column holding
+each row's inclusion probability so that downstream operators (joins,
+selections) transport the estimation metadata for free, and
+:mod:`repro.core.quality` can compute Horvitz–Thompson estimates from
+any operator output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.columnstore.query import Query
+from repro.columnstore.table import Table
+from repro.errors import ImpressionError
+
+#: Name of the hidden inclusion-probability column.
+PI_COLUMN = "_pi"
+
+
+class SamplerProtocol(Protocol):
+    """What an impression needs from its sampler."""
+
+    capacity: int
+
+    @property
+    def row_ids(self) -> np.ndarray: ...
+
+    @property
+    def seen(self) -> int: ...
+
+    @property
+    def size(self) -> int: ...
+
+    def inclusion_probabilities(self) -> np.ndarray: ...
+
+
+class Impression:
+    """A named sample of one base table, at one layer of a hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Unique name, e.g. ``"PhotoObjAll/biased/L2"``.
+    base_table:
+        Name of the table this impression samples.
+    sampler:
+        Any sampler satisfying :class:`SamplerProtocol`.
+    layer:
+        Position in its hierarchy; 0 is the most detailed (largest).
+    columns:
+        Optional column subset to materialise ("may contain a subset
+        of the attributes of a table", §3.1).  ``None`` keeps all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_table: str,
+        sampler: SamplerProtocol,
+        layer: int = 0,
+        columns: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name:
+            raise ImpressionError("impression name must be non-empty")
+        if layer < 0:
+            raise ImpressionError(f"layer must be non-negative, got {layer}")
+        self.name = name
+        self.base_table = base_table
+        self.sampler = sampler
+        self.layer = layer
+        self.columns = tuple(columns) if columns is not None else None
+        self._cached: Optional[Table] = None
+        self._cache_key: Optional[tuple] = None
+        self._pi_override: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # statistical metadata
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """n — the impression's slot count."""
+        return self.sampler.capacity
+
+    @property
+    def size(self) -> int:
+        """Tuples currently held (< capacity only during first fill)."""
+        return self.sampler.size
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Base-table row ids of the current contents."""
+        return self.sampler.row_ids
+
+    def inclusion_probabilities(self) -> np.ndarray:
+        """π per held tuple, relative to the *base* table.
+
+        When the impression was refreshed from a larger impression
+        (see :mod:`repro.core.maintenance`), the stored override
+        already composes both sampling stages.
+        """
+        if self._pi_override is not None:
+            return self._pi_override.copy()
+        return self.sampler.inclusion_probabilities()
+
+    def set_inclusion_override(self, pis: Optional[np.ndarray]) -> None:
+        """Install composed πs after a refresh-from-below (or clear)."""
+        if pis is not None:
+            pis = np.asarray(pis, dtype=float)
+            if pis.shape[0] != self.size:
+                raise ImpressionError(
+                    f"override length {pis.shape[0]} does not match "
+                    f"impression size {self.size}"
+                )
+        self._pi_override = pis
+        self._invalidate()
+
+    def add_columns(self, names: Sequence[str]) -> None:
+        """Widen a column-subset impression ("If the need rises, more
+        columns can be added", paper §3.1).
+
+        No-op for full-column impressions and for already-present
+        names; the cached materialisation is invalidated so the next
+        query sees the wider table.
+        """
+        if self.columns is None:
+            return
+        additions = [n for n in names if n not in self.columns]
+        if not additions:
+            return
+        self.columns = tuple(self.columns) + tuple(additions)
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # query support
+    # ------------------------------------------------------------------
+    def covers(self, query: Query, base: Table) -> bool:
+        """Whether this impression holds every column the query reads.
+
+        A full-column impression covers everything its base table
+        does; a column-subset impression only covers queries confined
+        to that subset.
+        """
+        if query.table != self.base_table:
+            return False
+        available = (
+            set(self.columns) if self.columns is not None else set(base.column_names)
+        )
+        return query.columns_read() <= available
+
+    def materialise(self, base: Table) -> Table:
+        """The impression as a queryable table (cached).
+
+        The cache key covers both the base table's version (appends
+        shift nothing — row ids are stable — but a regrown column's
+        buffers may move) and the sampler's progress.
+        """
+        key = (base.version, self.sampler.seen, self.size)
+        if self._cached is not None and self._cache_key == key:
+            return self._cached
+        row_ids = self.row_ids
+        if row_ids.size and row_ids.max() >= base.num_rows:
+            raise ImpressionError(
+                f"impression {self.name!r} references row "
+                f"{int(row_ids.max())} beyond base table "
+                f"{base.name!r} ({base.num_rows} rows)"
+            )
+        names = list(self.columns) if self.columns is not None else base.column_names
+        columns = [base.column(n).take(row_ids) for n in names]
+        columns.append(Column(PI_COLUMN, np.float64, self.inclusion_probabilities()))
+        self._cached = Table(f"{base.name}§{self.name}", columns)
+        self._cache_key = key
+        return self._cached
+
+    def _invalidate(self) -> None:
+        self._cached = None
+        self._cache_key = None
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self, base: Table) -> int:
+        """Approximate footprint of the materialised impression."""
+        return self.materialise(base).nbytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"Impression({self.name!r}, base={self.base_table!r}, "
+            f"layer={self.layer}, size={self.size}/{self.capacity})"
+        )

@@ -1,0 +1,116 @@
+"""Impression persistence: save and restore hierarchy state.
+
+The paper's workflow splits exploration across sessions: "This
+scenario, once proven correct and relevant, can be run in depth
+against all data overnight" (§1).  An interactive session's
+impressions — and the inclusion probabilities their error bounds rest
+on — must therefore survive process restarts.  This module snapshots
+a hierarchy's statistical state (per layer: base-row ids, inclusion
+probabilities, stream position) to a single ``.npz`` file and
+restores it into a freshly-built hierarchy of the same shape.
+
+What is *not* saved: the tuple values (they live in the base table)
+and the samplers' RNG state (a restored impression continues with its
+sampler's fresh stream; the restored πs decay correctly through the
+expected-churn bookkeeping, exactly as after a πps rebuild).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hierarchy import ImpressionHierarchy
+from repro.errors import ImpressionError
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def save_hierarchy(hierarchy: ImpressionHierarchy, path: str | Path) -> Path:
+    """Snapshot a hierarchy's sampling state to ``path`` (.npz).
+
+    Returns the path written.  The snapshot is self-describing: layer
+    names, capacities and the base table name travel along, and
+    :func:`load_hierarchy` refuses mismatched targets.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "hierarchy_name": hierarchy.name,
+        "base_table": hierarchy.base_table,
+        "layers": [],
+    }
+    for index, impression in enumerate(hierarchy.layers):
+        arrays[f"layer{index}_row_ids"] = impression.row_ids
+        arrays[f"layer{index}_pis"] = impression.inclusion_probabilities()
+        metadata["layers"].append(
+            {
+                "name": impression.name,
+                "capacity": impression.capacity,
+                "seen": impression.sampler.seen,
+                "columns": list(impression.columns)
+                if impression.columns is not None
+                else None,
+            }
+        )
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz when absent; report the real file
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def read_snapshot_metadata(path: str | Path) -> dict:
+    """The snapshot's metadata dict (no sampler state is touched)."""
+    with np.load(Path(path)) as bundle:
+        raw = bundle["metadata"].tobytes().decode("utf-8")
+    metadata = json.loads(raw)
+    if metadata.get("format_version") != FORMAT_VERSION:
+        raise ImpressionError(
+            f"snapshot format {metadata.get('format_version')!r} is not "
+            f"supported (expected {FORMAT_VERSION})"
+        )
+    return metadata
+
+
+def load_hierarchy(hierarchy: ImpressionHierarchy, path: str | Path) -> None:
+    """Restore a snapshot into ``hierarchy`` (same shape required).
+
+    The target hierarchy must sample the same base table and have the
+    same layer capacities; its samplers are overwritten with the
+    snapshot's row ids and inclusion probabilities via
+    ``load_state`` and continue streaming from there.
+    """
+    metadata = read_snapshot_metadata(path)
+    if metadata["base_table"] != hierarchy.base_table:
+        raise ImpressionError(
+            f"snapshot is for base table {metadata['base_table']!r}, "
+            f"not {hierarchy.base_table!r}"
+        )
+    saved_layers = metadata["layers"]
+    if len(saved_layers) != hierarchy.depth:
+        raise ImpressionError(
+            f"snapshot has {len(saved_layers)} layers, hierarchy has "
+            f"{hierarchy.depth}"
+        )
+    for saved, impression in zip(saved_layers, hierarchy.layers):
+        if saved["capacity"] != impression.capacity:
+            raise ImpressionError(
+                f"layer {impression.layer} capacity mismatch: snapshot "
+                f"{saved['capacity']}, hierarchy {impression.capacity}"
+            )
+    with np.load(Path(path)) as bundle:
+        for index, (saved, impression) in enumerate(
+            zip(saved_layers, hierarchy.layers)
+        ):
+            impression.sampler.load_state(
+                bundle[f"layer{index}_row_ids"],
+                bundle[f"layer{index}_pis"],
+                seen=saved["seen"],
+            )
+            impression.set_inclusion_override(None)

@@ -1,0 +1,160 @@
+"""Impression construction policies and the hierarchy factory.
+
+"Depending on the policy chosen, some scientists would be keen to
+keep the latest observations in their samples, while others may only
+be interested in events close to a point of interest" (paper §1).
+A policy encapsulates which sampler each layer gets:
+
+* :class:`UniformPolicy` — Algorithm R per layer (the Figure-7 red
+  baseline);
+* :class:`BiasedPolicy` — Figure-6 biased reservoirs steered by a
+  shared :class:`~repro.workload.interest.InterestModel` (the purple
+  panels), so every layer inherits the same focal points;
+* :class:`LastSeenPolicy` — Figure-3 recency reservoirs.
+
+Every layer samples the *base load stream* directly (all layers are
+registered with the same :class:`~repro.core.builder.ImpressionBuilder`),
+which keeps each layer's inclusion probabilities exact with respect to
+the base table.  Derivation from the layer below is used by the
+maintenance path as the cheap refresh route (paper §3.1, benchmark E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.hierarchy import ImpressionHierarchy
+from repro.core.impression import Impression
+from repro.errors import ImpressionError
+from repro.sampling.biased import BiasedReservoir
+from repro.sampling.last_seen import LastSeenReservoir
+from repro.sampling.reservoir import ReservoirR
+from repro.util.rng import RandomSource, spawn_rngs
+from repro.workload.interest import InterestModel
+
+#: Default layer capacities: a main-memory layer, a cache-ish layer,
+#: and a tiny synopsis layer (the paper's size spectrum, scaled to the
+#: synthetic database).
+DEFAULT_LAYER_SIZES: Tuple[int, ...] = (100_000, 10_000, 1_000)
+
+
+def _check_sizes(sizes: Sequence[int]) -> Tuple[int, ...]:
+    sizes = tuple(int(s) for s in sizes)
+    if not sizes:
+        raise ImpressionError("a policy needs at least one layer size")
+    if any(s <= 0 for s in sizes):
+        raise ImpressionError(f"layer sizes must be positive, got {sizes}")
+    if any(a <= b for a, b in zip(sizes, sizes[1:])):
+        raise ImpressionError(
+            f"layer sizes must strictly decrease, got {sizes}"
+        )
+    return sizes
+
+
+@dataclass(frozen=True)
+class UniformPolicy:
+    """Algorithm-R layers: the unbiased baseline."""
+
+    layer_sizes: Tuple[int, ...] = DEFAULT_LAYER_SIZES
+
+    @property
+    def kind(self) -> str:
+        """Short policy tag used in impression names."""
+        return "uniform"
+
+    def make_sampler(self, capacity: int, rng: RandomSource):
+        """A fresh Algorithm-R sampler for one layer."""
+        return ReservoirR(capacity, rng)
+
+
+@dataclass(frozen=True)
+class BiasedPolicy:
+    """Figure-6 biased layers sharing one interest model.
+
+    ``uniform_floor`` keeps residual out-of-focus coverage; see
+    :class:`repro.sampling.biased.BiasedReservoir`.
+    """
+
+    interest: InterestModel
+    layer_sizes: Tuple[int, ...] = DEFAULT_LAYER_SIZES
+    uniform_floor: float = 0.1
+
+    @property
+    def kind(self) -> str:
+        """Short policy tag used in impression names."""
+        return "biased"
+
+    def make_sampler(self, capacity: int, rng: RandomSource):
+        """A fresh biased reservoir bound to the shared interest model."""
+        return BiasedReservoir(
+            capacity,
+            mass_fn=self.interest.mass,
+            uniform_floor=self.uniform_floor,
+            rng=rng,
+        )
+
+
+@dataclass(frozen=True)
+class LastSeenPolicy:
+    """Figure-3 recency layers.
+
+    ``keep_ratio`` is k/n; ``daily_ingest`` is D (tuples per load).
+    """
+
+    daily_ingest: int
+    keep_ratio: float = 1.0
+    layer_sizes: Tuple[int, ...] = DEFAULT_LAYER_SIZES
+
+    def __post_init__(self) -> None:
+        if self.daily_ingest <= 0:
+            raise ImpressionError(
+                f"daily_ingest must be positive, got {self.daily_ingest}"
+            )
+        if not 0.0 < self.keep_ratio <= 1.0:
+            raise ImpressionError(
+                f"keep_ratio must be in (0, 1], got {self.keep_ratio}"
+            )
+
+    @property
+    def kind(self) -> str:
+        """Short policy tag used in impression names."""
+        return "last-seen"
+
+    def make_sampler(self, capacity: int, rng: RandomSource):
+        """A fresh Last Seen reservoir for one layer."""
+        keep = max(1, int(round(self.keep_ratio * capacity)))
+        return LastSeenReservoir(capacity, self.daily_ingest, keep, rng)
+
+
+#: Any of the three construction policies.
+Policy = UniformPolicy | BiasedPolicy | LastSeenPolicy
+
+
+def build_hierarchy(
+    base_table: str,
+    policy: Policy,
+    name: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+    rng: RandomSource = None,
+) -> ImpressionHierarchy:
+    """Create a hierarchy of fresh (empty) impressions for a policy.
+
+    Each layer gets an independent RNG stream derived from ``rng`` so
+    layer contents are independent samples, as the multi-layer design
+    assumes.
+    """
+    sizes = _check_sizes(policy.layer_sizes)
+    hierarchy_name = name or f"{base_table}/{policy.kind}"
+    rngs = spawn_rngs(rng, len(sizes))
+    layers = [
+        Impression(
+            name=f"{hierarchy_name}/L{index}",
+            base_table=base_table,
+            sampler=policy.make_sampler(capacity, layer_rng),
+            layer=index,
+            columns=columns,
+        )
+        for index, (capacity, layer_rng) in enumerate(zip(sizes, rngs))
+    ]
+    return ImpressionHierarchy(hierarchy_name, base_table, layers)

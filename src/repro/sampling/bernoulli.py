@@ -1,0 +1,62 @@
+"""Bernoulli sampling — the unbounded-size strawman baseline.
+
+Each tuple is kept independently with a fixed probability.  Unlike the
+reservoir family it cannot promise a memory footprint (the sample
+grows with the data), which is exactly why SciBORQ insists on
+reservoir designs for impressions (paper §3.3 property (a): "a fixed
+capacity of tuples that can fit in the sample").  The E12 benchmark
+uses it to show the footprint divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.util.rng import RandomSource, ensure_rng
+
+
+class BernoulliSampler:
+    """Keep each offered tuple independently with probability ``rate``."""
+
+    def __init__(self, rate: float, rng: RandomSource = None) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise SamplingError(f"rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+        self.rng = ensure_rng(rng)
+        self._kept: list[np.ndarray] = []
+        self._seen = 0
+
+    def offer_batch(self, row_ids: np.ndarray) -> int:
+        """Flip one coin per tuple; returns the number kept."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        self._seen += row_ids.shape[0]
+        mask = self.rng.random(row_ids.shape[0]) < self.rate
+        kept = row_ids[mask]
+        if kept.shape[0]:
+            self._kept.append(kept)
+        return int(kept.shape[0])
+
+    @property
+    def seen(self) -> int:
+        """Total tuples offered."""
+        return self._seen
+
+    @property
+    def size(self) -> int:
+        """Tuples currently kept (grows without bound)."""
+        return sum(chunk.shape[0] for chunk in self._kept)
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row ids of all kept tuples."""
+        if not self._kept:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self._kept)
+
+    def inclusion_probabilities(self) -> np.ndarray:
+        """Exact π = rate for every kept tuple."""
+        return np.full(self.size, self.rate)
+
+    def __len__(self) -> int:
+        return self.size

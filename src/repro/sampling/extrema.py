@@ -1,0 +1,106 @@
+"""Extrema reservoir — the paper's "outliers" impression policy.
+
+"Others may be interested in the outliers, i.e., peaks or troughs of
+the data instead of average values" (paper §1).  This sampler keeps
+the ``capacity/2`` smallest and ``capacity/2`` largest values of one
+attribute seen so far, so MIN/MAX (and top-k) queries on that
+attribute are answered *exactly* from the impression — the one
+aggregate family ordinary random samples cannot bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+class ExtremaReservoir:
+    """Keeps the extreme values of one attribute from a stream.
+
+    Parameters
+    ----------
+    capacity:
+        Total slots, split evenly between troughs (smallest values)
+        and peaks (largest values).
+    attribute:
+        The column whose extremes are tracked.
+    """
+
+    def __init__(self, capacity: int, attribute: str) -> None:
+        if capacity < 2:
+            raise SamplingError(f"capacity must be at least 2, got {capacity}")
+        self.capacity = int(capacity)
+        self.attribute = attribute
+        self._half = self.capacity // 2
+        # troughs: max-heap via negated values; peaks: min-heap.
+        self._troughs: list[tuple[float, int]] = []
+        self._peaks: list[tuple[float, int]] = []
+        self._seen = 0
+
+    def offer_batch(
+        self, row_ids: np.ndarray, batch: Mapping[str, np.ndarray]
+    ) -> int:
+        """Stream a batch; returns how many slots changed occupant."""
+        if self.attribute not in batch:
+            raise SamplingError(
+                f"batch is missing tracked attribute {self.attribute!r}"
+            )
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        values = np.asarray(batch[self.attribute], dtype=float)
+        if row_ids.shape != values.shape:
+            raise SamplingError("row_ids and attribute values must align")
+        self._seen += row_ids.shape[0]
+        changed = 0
+        for value, row_id in zip(values, row_ids):
+            if len(self._troughs) < self._half:
+                heapq.heappush(self._troughs, (-value, int(row_id)))
+                changed += 1
+            elif -value > self._troughs[0][0]:
+                heapq.heapreplace(self._troughs, (-value, int(row_id)))
+                changed += 1
+            if len(self._peaks) < self.capacity - self._half:
+                heapq.heappush(self._peaks, (value, int(row_id)))
+                changed += 1
+            elif value > self._peaks[0][0]:
+                heapq.heapreplace(self._peaks, (value, int(row_id)))
+                changed += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Total tuples offered."""
+        return self._seen
+
+    @property
+    def size(self) -> int:
+        """Slots currently occupied."""
+        return len(self._troughs) + len(self._peaks)
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row ids of the retained extremes (troughs then peaks)."""
+        ids = [row_id for _, row_id in self._troughs]
+        ids.extend(row_id for _, row_id in self._peaks)
+        return np.asarray(ids, dtype=np.int64)
+
+    @property
+    def minimum(self) -> float:
+        """The exact stream minimum of the tracked attribute."""
+        if not self._troughs:
+            raise SamplingError("no values seen yet")
+        return -max(self._troughs)[0]
+
+    @property
+    def maximum(self) -> float:
+        """The exact stream maximum of the tracked attribute."""
+        if not self._peaks:
+            raise SamplingError("no values seen yet")
+        return max(self._peaks)[0]
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,146 @@
+"""Self-tuning samples à la ICICLES (Ganti et al., VLDB 2000, ref [7]).
+
+"Self-tuning samples were proposed by ICICLES.  The results of a
+query are regarded as newly ingested data, and the sample is updated
+accordingly.  We intend to investigate this technique for SciBORQ
+also: a side-effect of a query evaluation is to update an impression
+using query results" (paper §5).
+
+The :class:`SelfTuningReservoir` realises that plan: besides the load
+stream, it accepts *result* offers — the base-row ids a query's answer
+touched.  Every offer is a fresh inclusion chance, so a tuple touched
+by many queries is proportionally more likely to be retained; the
+sample drifts toward the workload's working set without any explicit
+interest model.  Compared to the Figure-6 biased reservoir this is
+reactive (tuples must appear in results first) but free of histogram
+state — the trade ICICLES makes.
+
+Inclusion probabilities: with ``o_t`` total offers of tuple ``t`` out
+of ``O`` offers overall, the retention behaviour approximates a
+weighted reservoir with weight ``o_t``, so ``π_t ≈ min(1, n·o_t/O)``
+— the same normalised approximation used for A-Res, validated
+empirically in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.util.rng import RandomSource, ensure_rng
+
+
+class SelfTuningReservoir:
+    """A reservoir that treats query results as re-ingested data.
+
+    Parameters
+    ----------
+    capacity:
+        n, the number of slots.
+    result_boost:
+        How many load-offers one result-offer is worth.  1.0 treats a
+        query touch exactly like a fresh ingest (the ICICLES default);
+        higher values tune faster toward the workload.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        result_boost: float = 1.0,
+        rng: RandomSource = None,
+    ) -> None:
+        if capacity <= 0:
+            raise SamplingError(f"capacity must be positive, got {capacity}")
+        if result_boost <= 0:
+            raise SamplingError(
+                f"result_boost must be positive, got {result_boost}"
+            )
+        self.capacity = int(capacity)
+        self.result_boost = float(result_boost)
+        self.rng = ensure_rng(rng)
+        self._slots = np.full(self.capacity, -1, dtype=np.int64)
+        self._filled = 0
+        self._offer_weight: Dict[int, float] = defaultdict(float)
+        self._total_weight = 0.0
+        self._seen = 0
+        self._result_offers = 0
+
+    # ------------------------------------------------------------------
+    def _offer(self, row_ids: np.ndarray, weight: float) -> int:
+        accepted = 0
+        for row_id in row_ids:
+            self._offer_weight[int(row_id)] += weight
+            self._total_weight += weight
+            if self._filled < self.capacity:
+                self._slots[self._filled] = row_id
+                self._filled += 1
+                accepted += 1
+                continue
+            # accept with probability n·w / W (reservoir over the
+            # weighted union stream), evicting a uniform occupant
+            p = self.capacity * weight / self._total_weight
+            if self.rng.random() < p:
+                slot = int(self.rng.integers(0, self.capacity))
+                self._slots[slot] = row_id
+                accepted += 1
+        return accepted
+
+    def offer_batch(self, row_ids: np.ndarray) -> int:
+        """Offer freshly loaded tuples (weight 1 each)."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        self._seen += row_ids.shape[0]
+        return self._offer(row_ids, 1.0)
+
+    def offer_results(self, row_ids: np.ndarray) -> int:
+        """Offer the base rows a query's result touched.
+
+        This is the ICICLES move: result tuples get another inclusion
+        chance, weighted by ``result_boost``.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        self._result_offers += row_ids.shape[0]
+        return self._offer(row_ids, self.result_boost)
+
+    # ------------------------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Tuples offered through the load path."""
+        return self._seen
+
+    @property
+    def result_offers(self) -> int:
+        """Tuples offered through the query-result path."""
+        return self._result_offers
+
+    @property
+    def size(self) -> int:
+        """Occupied slots."""
+        return self._filled
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Current occupants (a copy)."""
+        return self._slots[: self._filled].copy()
+
+    def inclusion_probabilities(self) -> np.ndarray:
+        """Approximate π per occupant: ``min(1, n·o_t/O)``."""
+        if self._filled == 0:
+            return np.empty(0)
+        weights = np.array(
+            [self._offer_weight[int(r)] for r in self._slots[: self._filled]]
+        )
+        if self._total_weight <= 0:
+            return np.full(self._filled, 1.0)
+        return np.clip(
+            self.capacity * weights / self._total_weight, 1e-12, 1.0
+        )
+
+    def touch_weight(self, row_id: int) -> float:
+        """Total offer weight accumulated by one base row."""
+        return self._offer_weight.get(int(row_id), 0.0)
+
+    def __len__(self) -> int:
+        return self._filled

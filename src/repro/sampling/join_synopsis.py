@@ -1,0 +1,153 @@
+"""Join synopses: FK-consistent sampling across tables (ref [3]).
+
+"Impressions do not contain just a single attribute or relation, but
+may span the entire database logical schema. ... Past work
+demonstrates how join attributes across relations are achieved with
+uniform sampling, and it can be adjusted to our case, too.  This way,
+the correlations between join attributes are maintained, leading to
+more precise query results" (paper §3.1).
+
+Following Acharya et al.'s join synopses, the *fact* table is sampled
+(by any of this package's samplers) and every dimension table
+referenced by a declared foreign key contributes exactly the rows the
+sampled fact tuples point at.  A query with FK joins then evaluates on
+the synopsis with zero dangling tuples — the join is lossless within
+the sample.
+
+The paper adds an incremental twist: "these traditional sampling
+techniques have to be adapted to wait for the joining tuples to arrive
+during subsequent loads" (§3.3).  :meth:`JoinSynopsis.refresh` handles
+exactly that: fact tuples whose dimension row had not arrived yet are
+kept in a pending set and re-resolved on every refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.table import Table
+from repro.errors import ImpressionError
+
+
+class JoinSynopsis:
+    """A FK-consistent bundle of sampled fact rows + dimension rows.
+
+    Parameters
+    ----------
+    catalog:
+        Source of the base fact and dimension tables and FK metadata.
+    fact_table:
+        Name of the fact table the sampler runs over.
+    """
+
+    def __init__(self, catalog: Catalog, fact_table: str) -> None:
+        self.catalog = catalog
+        self.fact_table = fact_table
+        self.foreign_keys = catalog.foreign_keys_of(fact_table)
+        self._fact_row_ids = np.empty(0, dtype=np.int64)
+        self._dimension_rows: Dict[str, np.ndarray] = {}
+        self._pending: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def refresh(self, fact_row_ids: np.ndarray) -> None:
+        """Rebuild the synopsis for the given sampled fact rows.
+
+        For every FK, the dimension rows matching the sampled facts'
+        key values are located; keys with no dimension row yet (they
+        may arrive "during subsequent loads") are recorded as pending
+        and picked up by the next refresh.
+        """
+        self._fact_row_ids = np.asarray(fact_row_ids, dtype=np.int64)
+        fact = self.catalog.table(self.fact_table)
+        if self._fact_row_ids.size and self._fact_row_ids.max() >= fact.num_rows:
+            raise ImpressionError(
+                "sampled fact row ids exceed the fact table's row count"
+            )
+        self._dimension_rows.clear()
+        self._pending.clear()
+        for fk in self.foreign_keys:
+            keys = fact[fk.fact_column][self._fact_row_ids]
+            unique_keys = np.unique(keys)
+            dimension = self.catalog.table(fk.dimension_table)
+            dim_keys = dimension[fk.dimension_column]
+            order = np.argsort(dim_keys, kind="stable")
+            sorted_keys = dim_keys[order]
+            pos = np.searchsorted(sorted_keys, unique_keys, side="left")
+            pos_clipped = np.minimum(pos, sorted_keys.shape[0] - 1)
+            found = (
+                (sorted_keys.shape[0] > 0)
+                & (pos < sorted_keys.shape[0])
+                & (sorted_keys[pos_clipped] == unique_keys)
+            )
+            self._dimension_rows[fk.dimension_table] = np.sort(
+                order[pos_clipped[found]]
+            )
+            self._pending[fk.dimension_table] = unique_keys[~found]
+
+    # ------------------------------------------------------------------
+    @property
+    def fact_row_ids(self) -> np.ndarray:
+        """The sampled fact rows this synopsis is built around."""
+        return self._fact_row_ids.copy()
+
+    def dimension_row_ids(self, dimension_table: str) -> np.ndarray:
+        """Dimension rows included for ``dimension_table``."""
+        try:
+            return self._dimension_rows[dimension_table].copy()
+        except KeyError:
+            raise ImpressionError(
+                f"{dimension_table!r} is not a dimension of {self.fact_table!r}"
+            ) from None
+
+    def pending_keys(self, dimension_table: str) -> np.ndarray:
+        """FK values still waiting for their dimension row to arrive."""
+        try:
+            return self._pending[dimension_table].copy()
+        except KeyError:
+            raise ImpressionError(
+                f"{dimension_table!r} is not a dimension of {self.fact_table!r}"
+            ) from None
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any FK value is still unresolved."""
+        return any(keys.size for keys in self._pending.values())
+
+    def materialise(self) -> Dict[str, Table]:
+        """Concrete sampled tables: the fact sample + trimmed dimensions.
+
+        Table names are preserved so a query's :class:`JoinSpec`s work
+        unchanged against a catalog built from this dict.
+        """
+        fact = self.catalog.table(self.fact_table)
+        out: Dict[str, Table] = {
+            self.fact_table: fact.take(self._fact_row_ids, self.fact_table)
+        }
+        for fk in self.foreign_keys:
+            dimension = self.catalog.table(fk.dimension_table)
+            out[fk.dimension_table] = dimension.take(
+                self._dimension_rows.get(
+                    fk.dimension_table, np.empty(0, dtype=np.int64)
+                ),
+                fk.dimension_table,
+            )
+        return out
+
+    def to_catalog(self) -> Catalog:
+        """A self-contained catalog of the synopsis tables + FKs."""
+        synopsis_catalog = Catalog()
+        for table in self.materialise().values():
+            synopsis_catalog.add_table(table)
+        for fk in self.foreign_keys:
+            synopsis_catalog.add_foreign_key(fk)
+        return synopsis_catalog
+
+    def size_rows(self) -> int:
+        """Total rows across the fact sample and all dimension subsets."""
+        return int(
+            self._fact_row_ids.shape[0]
+            + sum(rows.shape[0] for rows in self._dimension_rows.values())
+        )

@@ -1,0 +1,51 @@
+"""Algorithm R — the classic uniform reservoir (paper Figure 2).
+
+"Reservoir algorithms have a) a fixed capacity of tuples that can fit
+in the sample, b) process the data sequentially, and c) each tuple has
+the same probability of being part of the sample" (paper §3.3, citing
+Vitter 1985).  The acceptance probability for the ``cnt``-th tuple is
+``n / cnt``, and the resulting sample is a uniform simple random
+sample of everything seen — the property the uniform panels of
+Figure 7 and all SRS estimators rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.sampling.base import ReservoirBase
+
+
+class ReservoirR(ReservoirBase):
+    """Vitter's Algorithm R over a stream of row ids.
+
+    The vectorised implementation accepts the ``cnt``-th tuple with
+    probability ``n/cnt`` and evicts a uniformly random occupant,
+    which is exactly Figure 2 (there the single random draw doubles as
+    the eviction slot; conditioned on acceptance it is uniform over
+    slots, so the two formulations are the same distribution).
+    """
+
+    def acceptance_probabilities(
+        self,
+        row_ids: np.ndarray,
+        batch: Optional[Mapping[str, np.ndarray]],
+        counts_after: np.ndarray,
+    ) -> np.ndarray:
+        """``P(accept the cnt-th tuple) = n / cnt``."""
+        return self.capacity / counts_after.astype(np.float64)
+
+    def inclusion_probabilities(self) -> np.ndarray:
+        """Exact uniform inclusion probability ``min(1, n/cnt)``.
+
+        Every tuple ever offered has the same chance of being in the
+        reservoir, which is the defining invariant of Algorithm R, so
+        the survival-product bookkeeping of the base class is replaced
+        with the closed form.
+        """
+        if self.size == 0:
+            return np.empty(0)
+        pi = min(1.0, self.capacity / max(self.seen, 1))
+        return np.full(self.size, pi)

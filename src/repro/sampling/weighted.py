@@ -1,0 +1,102 @@
+"""Efraimidis–Spirakis A-Res weighted reservoir (literature baseline).
+
+The paper positions its biased reservoir against "traditional sampling
+techniques" (§5).  A-Res is the standard one-pass weighted
+reservoir-without-replacement: each item draws a key
+``u^(1/w)`` (u uniform) and the n largest keys are kept.  It serves as
+the comparison point for the Figure-6 algorithm in the E12 benchmark:
+same weights in, similar focal concentration out, but A-Res has no
+notion of a *shifting* workload — its weights are fixed at offer time,
+while the SciBORQ reservoir re-reads the interest model as it drifts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.util.rng import RandomSource, ensure_rng
+
+
+class WeightedReservoir:
+    """A-Res: weighted sampling without replacement over a stream.
+
+    Keeps the ``capacity`` items with the largest ``u_i^(1/w_i)``
+    keys.  Inclusion probabilities have no closed form; the standard
+    normalised approximation ``π_i ≈ min(1, n·w_i / Σw)`` is provided
+    for estimator use and validated empirically in the tests.
+    """
+
+    def __init__(self, capacity: int, rng: RandomSource = None) -> None:
+        if capacity <= 0:
+            raise SamplingError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.rng = ensure_rng(rng)
+        self._heap: list[tuple[float, int, float]] = []  # (key, row_id, weight)
+        self._seen = 0
+        self._total_weight = 0.0
+
+    def offer_batch(
+        self,
+        row_ids: np.ndarray,
+        weights: np.ndarray,
+        batch: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> int:
+        """Stream a batch of (row id, weight) pairs; returns accepts."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        weights = np.asarray(weights, dtype=float)
+        if row_ids.shape != weights.shape:
+            raise SamplingError("row_ids and weights must align")
+        if np.any(weights < 0):
+            raise SamplingError("weights must be non-negative")
+        self._seen += row_ids.shape[0]
+        self._total_weight += float(weights.sum())
+        live = weights > 0
+        if not live.any():
+            return 0
+        keys = self.rng.random(int(live.sum())) ** (1.0 / weights[live])
+        accepted = 0
+        for key, row_id, weight in zip(keys, row_ids[live], weights[live]):
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, (key, int(row_id), float(weight)))
+                accepted += 1
+            elif key > self._heap[0][0]:
+                heapq.heapreplace(self._heap, (key, int(row_id), float(weight)))
+                accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Total tuples offered."""
+        return self._seen
+
+    @property
+    def size(self) -> int:
+        """Tuples currently held."""
+        return len(self._heap)
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row ids of the current occupants."""
+        return np.array([row_id for _, row_id, _ in self._heap], dtype=np.int64)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Offer-time weights of the current occupants."""
+        return np.array([w for _, _, w in self._heap], dtype=float)
+
+    def inclusion_probabilities(self) -> np.ndarray:
+        """Approximate ``π_i ≈ min(1, n·w_i/Σw)`` for the occupants."""
+        if not self._heap:
+            return np.empty(0)
+        if self._total_weight <= 0:
+            return np.full(len(self._heap), 1.0)
+        pis = self.capacity * self.weights / self._total_weight
+        return np.clip(pis, 1e-12, 1.0)
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,67 @@
+"""SkyServer helper functions, chiefly ``fGetNearbyObjEq``.
+
+"The function fGetNearbyObjEq returns all objects found in a nearby
+area specified by ra=185 and dec=0. ... The area described by the
+query predicate is the focal point of exploration" (paper §2.1).
+These helpers construct the corresponding declarative queries so that
+examples, the workload generator, and the tests all express cone
+searches the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.executor import Executor, QueryResult
+from repro.columnstore.expressions import RadialPredicate
+from repro.columnstore.query import AggregateSpec, Query
+
+
+def nearby_query(
+    ra: float,
+    dec: float,
+    radius: float,
+    table: str = "PhotoObjAll",
+    select: Sequence[str] | None = ("objID", "ra", "dec", "r_mag"),
+    limit: int | None = None,
+) -> Query:
+    """The SELECT-rows form of ``fGetNearbyObjEq(ra, dec, radius)``."""
+    return Query(
+        table=table,
+        predicate=RadialPredicate("ra", "dec", ra, dec, radius),
+        select=select,
+        limit=limit,
+    )
+
+
+def nearby_count_query(
+    ra: float,
+    dec: float,
+    radius: float,
+    table: str = "PhotoObjAll",
+) -> Query:
+    """COUNT(*) of objects within the cone — the aggregate form."""
+    return Query(
+        table=table,
+        predicate=RadialPredicate("ra", "dec", ra, dec, radius),
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+def f_get_nearby_obj_eq(
+    catalog: Catalog,
+    ra: float,
+    dec: float,
+    radius: float,
+    limit: int | None = None,
+    executor: Executor | None = None,
+) -> QueryResult:
+    """Run ``fGetNearbyObjEq`` against the base data.
+
+    This is the expensive full-scan path the paper contrasts with
+    impression-backed evaluation; the SciBORQ engine offers the same
+    call with bounds (see ``repro.core.engine``).
+    """
+    executor = executor if executor is not None else Executor(catalog)
+    return executor.execute(nearby_query(ra, dec, radius, limit=limit))

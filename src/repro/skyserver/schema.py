@@ -1,0 +1,94 @@
+"""Schema of the synthetic SkyServer (paper Figure 1, summarised).
+
+The real ``PhotoObjAll`` has hundreds of columns; the reproduction
+keeps the ones the paper's discussion and workload actually touch —
+the sky coordinates ``ra``/``dec`` ("the attributes of the data that
+contain relevant scientific observation values", §4), photometric
+magnitudes for aggregates, the object type behind the ``Galaxy`` view,
+foreign keys to two dimension tables, and the observation time that
+drives Last Seen impressions.
+"""
+
+from __future__ import annotations
+
+from repro.columnstore.catalog import Catalog, ForeignKey
+from repro.columnstore.table import Table
+
+#: SDSS photometric type codes (the subset the Galaxy/Star views use).
+GALAXY = 3
+STAR = 6
+
+#: The patch of sky the synthetic survey covers.  Matches the axis
+#: ranges of the paper's Figures 4 and 7 (ra 120–240, dec 0–60).
+RA_RANGE = (120.0, 240.0)
+DEC_RANGE = (0.0, 60.0)
+
+
+def photoobj_schema() -> dict[str, str]:
+    """Column dtypes of the ``PhotoObjAll`` fact table."""
+    return {
+        "objID": "int64",
+        "ra": "float64",  # right ascension (degrees)
+        "dec": "float64",  # declination (degrees)
+        "fieldID": "int64",  # FK -> Field
+        "frameID": "int64",  # FK -> Frame
+        "obj_type": "int64",  # GALAXY / STAR
+        "u_mag": "float64",
+        "g_mag": "float64",
+        "r_mag": "float64",
+        "i_mag": "float64",
+        "z_mag": "float64",
+        "petro_rad": "float64",  # Petrosian radius (arcsec)
+        "mjd": "float64",  # modified Julian date of observation
+    }
+
+
+def field_schema() -> dict[str, str]:
+    """Column dtypes of the ``Field`` dimension table."""
+    return {
+        "fieldID": "int64",
+        "field_ra": "float64",
+        "field_dec": "float64",
+        "sky_brightness": "float64",
+        "airmass": "float64",
+        "quality": "int64",
+    }
+
+
+def frame_schema() -> dict[str, str]:
+    """Column dtypes of the ``Frame`` dimension table."""
+    return {
+        "frameID": "int64",
+        "run": "int64",
+        "camcol": "int64",
+        "filter_band": "int64",
+        "frame_mjd": "float64",
+    }
+
+
+def photoz_schema() -> dict[str, str]:
+    """Column dtypes of the ``Photoz`` dimension table (1:1 by objID)."""
+    return {
+        "pz_objID": "int64",
+        "z_est": "float64",
+        "z_err": "float64",
+    }
+
+
+def create_skyserver_catalog() -> Catalog:
+    """An empty catalog with the SkyServer tables and FK edges."""
+    catalog = Catalog()
+    catalog.add_table(Table("PhotoObjAll", photoobj_schema()))
+    catalog.add_table(Table("Field", field_schema()))
+    catalog.add_table(Table("Frame", frame_schema()))
+    catalog.add_table(Table("Photoz", photoz_schema()))
+    catalog.add_foreign_key(
+        ForeignKey("PhotoObjAll", "fieldID", "Field", "fieldID")
+    )
+    catalog.add_foreign_key(
+        ForeignKey("PhotoObjAll", "frameID", "Frame", "frameID")
+    )
+    catalog.add_foreign_key(
+        ForeignKey("PhotoObjAll", "objID", "Photoz", "pz_objID")
+    )
+    return catalog

@@ -1,0 +1,40 @@
+"""SkyServer views: ``Galaxy`` and ``Star``.
+
+"Table Galaxy is a view of PhotoObjAll with many foreign key joins.
+This view presents the galaxy information according to the
+astronomers' desire" (paper §2.1).  Our Galaxy view filters
+``obj_type = GALAXY`` and joins the Photoz dimension, so queries over
+it exercise both the view-expansion and the FK-join machinery.
+"""
+
+from __future__ import annotations
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.expressions import col_eq
+from repro.columnstore.query import JoinSpec, Query
+from repro.skyserver.schema import GALAXY, STAR
+
+
+def galaxy_view_query() -> Query:
+    """The defining query of the ``Galaxy`` view."""
+    return Query(
+        table="PhotoObjAll",
+        predicate=col_eq("obj_type", GALAXY),
+        joins=[JoinSpec("Photoz", "objID", "pz_objID", ("z_est", "z_err"))],
+    )
+
+
+def star_view_query() -> Query:
+    """The defining query of the ``Star`` view."""
+    return Query(
+        table="PhotoObjAll",
+        predicate=col_eq("obj_type", STAR),
+    )
+
+
+def register_skyserver_views(catalog: Catalog) -> None:
+    """Install the Galaxy and Star views into a SkyServer catalog."""
+    if not catalog.has_view("Galaxy"):
+        catalog.add_view("Galaxy", galaxy_view_query())
+    if not catalog.has_view("Star"):
+        catalog.add_view("Star", star_view_query())

@@ -1,0 +1,136 @@
+"""Error propagation through derived quantities (paper §6 future work).
+
+"We intend to investigate the theoretical error margins for biased
+sampling ... and their propagation through the fundamental query
+processing operators."  Exploratory science rarely stops at one
+aggregate: the scientist divides two counts (a selectivity), subtracts
+two means (a contrast between sky regions), or rescales by a constant.
+Each helper below takes :class:`~repro.stats.estimators.Estimate`
+inputs and produces an Estimate for the derived quantity using the
+delta method (first-order Taylor propagation), assuming independence
+between the inputs — which holds for estimates computed from
+*different* impressions or disjoint predicates, and is the standard
+conservative default otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+from repro.stats.estimators import Estimate
+
+
+def _common_confidence(a: Estimate, b: Estimate) -> float:
+    if abs(a.confidence - b.confidence) > 1e-9:
+        raise EstimationError(
+            f"cannot combine estimates at different confidence levels "
+            f"({a.confidence} vs {b.confidence})"
+        )
+    return a.confidence
+
+
+def scale(estimate: Estimate, factor: float, method: str | None = None) -> Estimate:
+    """``factor · X``: the SE scales by |factor|."""
+    return Estimate(
+        value=factor * estimate.value,
+        se=abs(factor) * estimate.se,
+        confidence=estimate.confidence,
+        method=method or f"scaled({estimate.method})",
+        sample_size=estimate.sample_size,
+        population_size=estimate.population_size,
+    )
+
+
+def add(a: Estimate, b: Estimate) -> Estimate:
+    """``X + Y`` for independent X, Y: variances add."""
+    return Estimate(
+        value=a.value + b.value,
+        se=math.hypot(a.se, b.se),
+        confidence=_common_confidence(a, b),
+        method=f"sum({a.method},{b.method})",
+        sample_size=min(a.sample_size, b.sample_size),
+        population_size=a.population_size,
+    )
+
+
+def subtract(a: Estimate, b: Estimate) -> Estimate:
+    """``X − Y`` for independent X, Y — e.g. the contrast between two
+    sky regions' mean magnitudes."""
+    return Estimate(
+        value=a.value - b.value,
+        se=math.hypot(a.se, b.se),
+        confidence=_common_confidence(a, b),
+        method=f"difference({a.method},{b.method})",
+        sample_size=min(a.sample_size, b.sample_size),
+        population_size=a.population_size,
+    )
+
+
+def multiply(a: Estimate, b: Estimate) -> Estimate:
+    """``X · Y`` for independent X, Y (delta method):
+
+    ``se² ≈ (Y·se_X)² + (X·se_Y)²``.
+    """
+    se = math.hypot(b.value * a.se, a.value * b.se)
+    return Estimate(
+        value=a.value * b.value,
+        se=se,
+        confidence=_common_confidence(a, b),
+        method=f"product({a.method},{b.method})",
+        sample_size=min(a.sample_size, b.sample_size),
+        population_size=a.population_size,
+    )
+
+
+def ratio(numerator: Estimate, denominator: Estimate) -> Estimate:
+    """``X / Y`` for independent X, Y (delta method) — e.g. the
+    selectivity of one predicate relative to another:
+
+    ``se²/R² ≈ (se_X/X)² + (se_Y/Y)²``.
+
+    Degrades gracefully near Y = 0 by reporting an infinite SE.
+    """
+    confidence = _common_confidence(numerator, denominator)
+    if denominator.value == 0.0:
+        return Estimate(
+            value=math.inf if numerator.value > 0 else math.nan,
+            se=math.inf,
+            confidence=confidence,
+            method=f"ratio({numerator.method},{denominator.method})",
+            sample_size=min(numerator.sample_size, denominator.sample_size),
+            population_size=numerator.population_size,
+        )
+    value = numerator.value / denominator.value
+    rel_num = numerator.se / abs(numerator.value) if numerator.value else 0.0
+    rel_den = denominator.se / abs(denominator.value)
+    if numerator.value == 0.0 and numerator.se > 0.0:
+        se = numerator.se / abs(denominator.value)
+    else:
+        se = abs(value) * math.hypot(rel_num, rel_den)
+    return Estimate(
+        value=value,
+        se=se,
+        confidence=confidence,
+        method=f"ratio({numerator.method},{denominator.method})",
+        sample_size=min(numerator.sample_size, denominator.sample_size),
+        population_size=numerator.population_size,
+    )
+
+
+def selectivity(part: Estimate, whole: Estimate) -> Estimate:
+    """``COUNT(part) / COUNT(whole)`` clamped to [0, 1] semantics.
+
+    A thin wrapper over :func:`ratio` whose name matches the use
+    case; the value is *not* hard-clamped (an estimate slightly above
+    1 is informative), but the method string marks it as a fraction.
+    """
+    estimate = ratio(part, whole)
+    return Estimate(
+        value=estimate.value,
+        se=estimate.se,
+        confidence=estimate.confidence,
+        method="selectivity",
+        sample_size=estimate.sample_size,
+        population_size=estimate.population_size,
+    )

@@ -1,0 +1,113 @@
+"""Single-pass moment trackers (Welford / Chan parallel merge).
+
+These run inside the load pipeline, so they must be one-pass,
+constant-memory, and mergeable — daily ingests are loaded in parallel
+(paper §1), and two partial trackers must combine exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class StreamingMoments:
+    """Running count, mean, and variance via Welford's algorithm.
+
+    ``update_batch`` uses Chan's pairwise-merge formula on a whole
+    numpy batch at once, so the vectorised load path costs one numpy
+    reduction per batch rather than per-tuple Python work.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one value into the running moments."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def update_batch(self, values: np.ndarray) -> None:
+        """Fold a whole batch (vectorised Chan merge)."""
+        values = np.asarray(values, dtype=float)
+        n = values.shape[0]
+        if n == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(((values - batch_mean) ** 2).sum())
+        self._merge(n, batch_mean, batch_m2)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another tracker into this one (parallel loads)."""
+        self._merge(other.count, other.mean, other._m2)
+
+    def _merge(self, n: int, mean: float, m2: float) -> None:
+        if n == 0:
+            return
+        total = self.count + n
+        delta = mean - self.mean
+        self.mean += delta * n / total
+        self._m2 += m2 + delta * delta * self.count * n / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two values."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMoments(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class MinMaxTracker:
+    """Running minimum and maximum of a stream."""
+
+    def __init__(self) -> None:
+        self.min = math.inf
+        self.max = -math.inf
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        """Fold one value."""
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def update_batch(self, values: np.ndarray) -> None:
+        """Fold a whole batch."""
+        values = np.asarray(values, dtype=float)
+        if values.shape[0] == 0:
+            return
+        self.count += values.shape[0]
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+
+    def merge(self, other: "MinMaxTracker") -> None:
+        """Fold another tracker into this one."""
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def span(self) -> float:
+        """``max - min`` (0.0 before any update)."""
+        if self.count == 0:
+            return 0.0
+        return self.max - self.min

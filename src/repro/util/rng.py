@@ -1,0 +1,50 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components (samplers, data generators, workload
+generators) accept either a seed or a ready-made
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps
+the rest of the library honest: no module ever reaches for global numpy
+randomness, so every experiment in the benchmark harness is replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: The public type accepted everywhere a source of randomness is needed.
+RandomSource = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(source: RandomSource = None) -> np.random.Generator:
+    """Coerce ``source`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh, OS-seeded generator; an ``int`` seeds a new
+    PCG64 generator; an existing generator is passed through untouched.
+    """
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, (int, np.integer)):
+        return np.random.default_rng(int(source))
+    raise TypeError(
+        f"expected None, int, or numpy Generator, got {type(source).__name__}"
+    )
+
+
+def spawn_rngs(source: RandomSource, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Used when one experiment seed must drive several components (data
+    generator, workload generator, samplers) without their streams
+    aliasing each other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(source)
+    return [
+        np.random.default_rng(seed)
+        for seed in root.bit_generator.seed_seq.spawn(count)  # type: ignore[union-attr]
+    ]

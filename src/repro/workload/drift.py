@@ -1,0 +1,91 @@
+"""Workload-drift detection.
+
+"Small impressions need fast reflexes to efficiently adapt to query
+workload shifts" (paper §3.1).  The detector compares the recent
+window of predicate values against the accumulated interest
+distribution with total-variation distance over a shared binning; when
+the distance exceeds a threshold, the SciBORQ engine reacts by
+decaying the interest histograms and scheduling an impression refresh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+import numpy as np
+
+from repro.stats.histogram import EquiWidthHistogram
+from repro.util.validation import require, require_positive
+
+
+class DriftDetector:
+    """TV-distance drift detector over one attribute's predicate stream.
+
+    Parameters
+    ----------
+    domain:
+        (min, max) of the attribute.
+    bins:
+        Binning resolution for the comparison.
+    window:
+        Number of recent predicate values forming the "now" window.
+    threshold:
+        TV distance in [0, 1] above which :meth:`drifted` fires.
+        0 means any difference triggers; 1 never triggers.
+    """
+
+    def __init__(
+        self,
+        domain: Tuple[float, float],
+        bins: int = 32,
+        window: int = 200,
+        threshold: float = 0.35,
+    ) -> None:
+        require(domain[1] > domain[0], f"empty domain {domain}")
+        require_positive(window, "window")
+        require(0.0 <= threshold <= 1.0, "threshold must be in [0, 1]")
+        self.domain = (float(domain[0]), float(domain[1]))
+        self.bins = int(bins)
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self._reference = EquiWidthHistogram(*self.domain, bins=self.bins)
+        self._recent: Deque[float] = deque(maxlen=self.window)
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, values: np.ndarray) -> None:
+        """Fold new predicate values into both windows."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.shape[0] == 0:
+            return
+        self._reference.observe_batch(values)
+        self._recent.extend(values.tolist())
+        self.observations += int(values.shape[0])
+
+    def distance(self) -> float:
+        """TV distance between the recent window and the full history.
+
+        Returns 0.0 until the recent window is at least half full —
+        too little evidence to call drift either way.
+        """
+        if len(self._recent) < max(2, self.window // 2):
+            return 0.0
+        recent = EquiWidthHistogram(*self.domain, bins=self.bins)
+        recent.observe_batch(np.asarray(self._recent))
+        return self._reference.total_variation_distance(recent)
+
+    @property
+    def drifted(self) -> bool:
+        """Whether the workload's recent focus departed from history."""
+        return self.distance() > self.threshold
+
+    def reset_reference(self) -> None:
+        """Restart history from the recent window (post-refocus).
+
+        Called after the engine has reacted to drift, so the detector
+        doesn't keep firing on the same (already handled) shift.
+        """
+        self._reference = EquiWidthHistogram(*self.domain, bins=self.bins)
+        if self._recent:
+            self._reference.observe_batch(np.asarray(self._recent))

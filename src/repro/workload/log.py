@@ -1,0 +1,86 @@
+"""The query log.
+
+SkyServer's "publicly accessible query logs provide a basis to derive
+areas of interest" (paper §2.1).  Our log records every query the
+engine executes together with a monotone sequence number, so interest
+models and drift detectors can be (re)built over any window — "a query
+workload ... is defined over a period of time or over a predefined
+number of queries" (§4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.columnstore.query import Query
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One logged query with its position in the stream."""
+
+    sequence: int
+    query: Query
+
+    @property
+    def fingerprint(self) -> str:
+        """The query's canonical identity string."""
+        return self.query.fingerprint()
+
+
+class QueryLog:
+    """An append-only, optionally bounded record of executed queries.
+
+    Parameters
+    ----------
+    max_entries:
+        If given, only the most recent ``max_entries`` are retained
+        (the log is a workload *window*, not an archive).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: list[QueryLogEntry] = []
+        self._next_sequence = 0
+
+    def record(self, query: Query) -> QueryLogEntry:
+        """Append a query; returns its log entry."""
+        entry = QueryLogEntry(self._next_sequence, query)
+        self._next_sequence += 1
+        self._entries.append(entry)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            del self._entries[: len(self._entries) - self.max_entries]
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QueryLogEntry]:
+        return iter(self._entries)
+
+    @property
+    def total_recorded(self) -> int:
+        """Queries ever recorded (ignoring window truncation)."""
+        return self._next_sequence
+
+    def tail(self, count: int) -> Sequence[QueryLogEntry]:
+        """The most recent ``count`` entries."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return tuple(self._entries[-count:]) if count else ()
+
+    def since(self, sequence: int) -> Sequence[QueryLogEntry]:
+        """Entries with sequence number ≥ ``sequence``."""
+        return tuple(e for e in self._entries if e.sequence >= sequence)
+
+    def most_common_fingerprints(self, count: int = 10) -> list[tuple[str, int]]:
+        """The most repeated query shapes (workload hot spots)."""
+        counter = Counter(entry.fingerprint for entry in self._entries)
+        return counter.most_common(count)

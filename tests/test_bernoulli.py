@@ -1,0 +1,49 @@
+"""Tests for the Bernoulli sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.bernoulli import BernoulliSampler
+
+
+class TestBasics:
+    def test_keeps_expected_fraction(self):
+        s = BernoulliSampler(0.05, rng=0)
+        s.offer_batch(np.arange(100_000))
+        assert s.size == pytest.approx(5000, rel=0.1)
+
+    def test_size_grows_without_bound(self):
+        """The property that disqualifies Bernoulli for impressions."""
+        s = BernoulliSampler(0.1, rng=1)
+        sizes = []
+        for day in range(5):
+            s.offer_batch(np.arange(day * 10_000, (day + 1) * 10_000))
+            sizes.append(s.size)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 3 * sizes[0]
+
+    def test_exact_inclusion_probabilities(self):
+        s = BernoulliSampler(0.25, rng=2)
+        s.offer_batch(np.arange(1000))
+        np.testing.assert_allclose(s.inclusion_probabilities(), 0.25)
+
+    def test_row_ids_subset_of_offers(self):
+        s = BernoulliSampler(0.5, rng=3)
+        s.offer_batch(np.arange(100))
+        assert set(s.row_ids.tolist()) <= set(range(100))
+
+    def test_empty_before_offers(self):
+        s = BernoulliSampler(0.5)
+        assert s.size == 0 and s.row_ids.shape == (0,)
+
+    def test_rate_validation(self):
+        with pytest.raises(SamplingError, match="rate"):
+            BernoulliSampler(0.0)
+        with pytest.raises(SamplingError, match="rate"):
+            BernoulliSampler(1.5)
+
+    def test_rate_one_keeps_everything(self):
+        s = BernoulliSampler(1.0, rng=4)
+        s.offer_batch(np.arange(50))
+        assert s.size == 50

@@ -1,0 +1,123 @@
+"""Tests for the biased-sampling reservoir (paper Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.biased import BiasedReservoir
+from repro.stats.estimators import hajek_mean, ht_count
+
+
+def step_mass(lo: int, hi: int, focal: float = 30.0, other: float = 0.3):
+    """Interest mass: ``focal`` inside [lo, hi), ``other`` elsewhere."""
+
+    def mass(batch):
+        x = batch["x"]
+        return np.where((x >= lo) & (x < hi), focal, other)
+
+    return mass
+
+
+def stream(sampler: BiasedReservoir, n: int, chunks: int = 20) -> None:
+    for chunk in np.array_split(np.arange(n), chunks):
+        sampler.offer_batch(chunk, {"x": chunk})
+
+
+class TestConfiguration:
+    def test_requires_callable_mass(self):
+        with pytest.raises(SamplingError, match="callable"):
+            BiasedReservoir(10, mass_fn="nope")
+
+    def test_requires_batch_values(self):
+        sampler = BiasedReservoir(10, step_mass(0, 1), rng=0)
+        sampler.offer_batch(np.arange(10))  # initial fill needs no mass
+        with pytest.raises(SamplingError, match="column values"):
+            sampler.offer_batch(np.arange(10, 20))
+
+    def test_mass_length_mismatch(self):
+        sampler = BiasedReservoir(5, lambda batch: np.ones(3), rng=0)
+        sampler.offer_batch(np.arange(5), {"x": np.arange(5)})
+        with pytest.raises(SamplingError, match="weights for"):
+            sampler.offer_batch(np.arange(5, 10), {"x": np.arange(5)})
+
+    def test_negative_mass_rejected(self):
+        sampler = BiasedReservoir(5, lambda batch: -np.ones(5), rng=0)
+        sampler.offer_batch(np.arange(5), {"x": np.arange(5)})
+        with pytest.raises(SamplingError, match="non-negative"):
+            sampler.offer_batch(np.arange(5, 10), {"x": np.arange(5, 10)})
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(SamplingError, match="uniform_floor"):
+            BiasedReservoir(5, step_mass(0, 1), uniform_floor=-0.1)
+
+
+class TestFocalConcentration:
+    def test_focal_region_overrepresented(self):
+        sampler = BiasedReservoir(1000, step_mass(40_000, 50_000), rng=1)
+        stream(sampler, 100_000)
+        focal_fraction = (
+            (sampler.row_ids >= 40_000) & (sampler.row_ids < 50_000)
+        ).mean()
+        assert focal_fraction > 0.5  # population share is 0.1
+
+    def test_zero_mass_regions_only_from_initial_fill(self):
+        sampler = BiasedReservoir(500, step_mass(0, 50_000, focal=10.0, other=0.0), rng=2)
+        stream(sampler, 100_000)
+        outside = sampler.row_ids >= 50_000
+        assert outside.mean() < 0.05
+
+    def test_uniform_floor_preserves_outside_coverage(self):
+        no_floor = BiasedReservoir(
+            500, step_mass(0, 50_000, 10.0, 0.0), uniform_floor=0.0, rng=3
+        )
+        floored = BiasedReservoir(
+            500, step_mass(0, 50_000, 10.0, 0.0), uniform_floor=0.5, rng=3
+        )
+        stream(no_floor, 100_000)
+        stream(floored, 100_000)
+        assert (floored.row_ids >= 50_000).mean() > (
+            no_floor.row_ids >= 50_000
+        ).mean()
+
+    def test_unit_mass_behaves_like_algorithm_r(self):
+        """With f̆·N ≡ 1 the Figure-6 probability is exactly n/cnt."""
+        sampler = BiasedReservoir(1000, lambda batch: np.ones(len(batch["x"])), rng=4)
+        stream(sampler, 50_000)
+        mean_id = sampler.row_ids.mean()
+        se = 50_000 / np.sqrt(12 * 1000)
+        assert abs(mean_id - 25_000) < 4 * se
+
+
+class TestEstimatorSupport:
+    def test_ht_count_recovers_population(self):
+        """HT over the biased impression estimates the focal-region
+        count without bias, despite 10x overrepresentation."""
+        estimates = []
+        for seed in range(30):
+            sampler = BiasedReservoir(800, step_mass(40_000, 50_000), rng=seed)
+            stream(sampler, 80_000)
+            ids = sampler.row_ids
+            pis = sampler.inclusion_probabilities()
+            matching = (ids >= 40_000) & (ids < 50_000)
+            estimates.append(ht_count(pis[matching]).value)
+        assert np.mean(estimates) == pytest.approx(10_000, rel=0.15)
+
+    def test_hajek_mean_recovers_focal_mean(self):
+        values_of = lambda ids: ids.astype(float)  # value == id
+        estimates = []
+        for seed in range(20):
+            sampler = BiasedReservoir(800, step_mass(40_000, 50_000), rng=100 + seed)
+            stream(sampler, 80_000)
+            ids = sampler.row_ids
+            pis = sampler.inclusion_probabilities()
+            matching = (ids >= 40_000) & (ids < 50_000)
+            estimates.append(
+                hajek_mean(values_of(ids[matching]), pis[matching]).value
+            )
+        assert np.mean(estimates) == pytest.approx(45_000, rel=0.01)
+
+    def test_inclusion_probabilities_in_unit_interval(self):
+        sampler = BiasedReservoir(500, step_mass(0, 1000), rng=5)
+        stream(sampler, 20_000)
+        pis = sampler.inclusion_probabilities()
+        assert (pis > 0).all() and (pis <= 1).all()

@@ -1,0 +1,238 @@
+"""Tests for the bounded query processor (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import AggregateSpec, Query
+from repro.columnstore.expressions import RadialPredicate
+from repro.core.bounded import BoundedQueryProcessor, QualityContract
+from repro.errors import BudgetExceededError, QualityBoundError, QueryError
+
+
+@pytest.fixture
+def processor(sky_engine) -> BoundedQueryProcessor:
+    return sky_engine.processor("PhotoObjAll")
+
+
+def cone_count(radius=5.0) -> Query:
+    return Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", 150.0, 10.0, radius),
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+class TestContract:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            QualityContract(max_relative_error=-0.1)
+        with pytest.raises(QueryError):
+            QualityContract(time_budget=-1)
+        with pytest.raises(QueryError):
+            QualityContract(confidence=1.0)
+
+    def test_defaults_unconstrained(self):
+        contract = QualityContract()
+        assert contract.max_relative_error is None
+        assert contract.time_budget is None
+
+
+class TestUnconstrainedExecution:
+    def test_answers_from_smallest_layer(self, processor):
+        outcome = processor.execute(cone_count())
+        assert len(outcome.attempts) == 1
+        assert outcome.attempts[0].rows == 100  # smallest layer
+        assert outcome.met_quality and outcome.met_budget
+
+    def test_wrong_table_rejected(self, processor):
+        with pytest.raises(QueryError, match="processor serves"):
+            processor.execute(Query(table="Field"))
+
+
+class TestErrorBoundEscalation:
+    def test_escalates_until_bound_met(self, processor):
+        outcome = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.05)
+        )
+        assert outcome.met_quality
+        assert outcome.achieved_error <= 0.05
+        assert outcome.escalations >= 1
+        # attempts are ordered small to large
+        rows = [a.rows for a in outcome.attempts]
+        assert rows == sorted(rows)
+
+    def test_zero_error_bound_reaches_base_data(self, processor, sky_engine):
+        outcome = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.0)
+        )
+        assert outcome.result.exact
+        assert outcome.achieved_error == 0.0
+        assert outcome.attempts[-1].rows == sky_engine.catalog.table(
+            "PhotoObjAll"
+        ).num_rows
+
+    def test_loose_bound_stops_early(self, processor):
+        loose = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.5)
+        )
+        tight = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.02)
+        )
+        assert loose.total_cost < tight.total_cost
+
+    def test_base_answer_matches_exact_executor(self, processor, sky_engine):
+        outcome = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.0)
+        )
+        exact = sky_engine.execute_exact(cone_count())
+        assert outcome.result.estimates["count(*)"].value == exact.scalar(
+            "count(*)"
+        )
+
+
+class TestTimeBounds:
+    def test_budget_limits_escalation(self, processor):
+        # enough for the two smaller layers only (100 + 1000 rows + agg)
+        outcome = processor.execute(
+            cone_count(),
+            QualityContract(max_relative_error=0.0001, time_budget=5_000),
+        )
+        assert not outcome.met_quality  # bound unreachable in budget
+        assert outcome.total_cost <= 5_000
+        assert outcome.attempts[-1].rows < 10_000
+
+    def test_generous_budget_allows_base(self, processor):
+        outcome = processor.execute(
+            cone_count(),
+            QualityContract(max_relative_error=0.0, time_budget=10_000_000),
+        )
+        assert outcome.met_quality and outcome.met_budget
+
+    def test_best_attempt_returned_when_budget_binds(self, processor):
+        outcome = processor.execute(
+            cone_count(),
+            QualityContract(max_relative_error=0.001, time_budget=3_000),
+        )
+        # the best (largest affordable) answer is the one reported
+        errors = [a.relative_error for a in outcome.attempts]
+        assert outcome.achieved_error == min(errors)
+
+    def test_tiny_budget_still_answers(self, processor):
+        outcome = processor.execute(
+            cone_count(), QualityContract(time_budget=10)
+        )
+        assert outcome.result is not None
+        assert len(outcome.attempts) == 1
+        assert not outcome.met_budget  # even the smallest layer overran
+
+
+class TestUnanswerableRungs:
+    def test_avg_over_unsampled_region_escalates(self, processor, sky_engine):
+        """An AVG whose region the tiny layer missed must escalate,
+        not crash: the layer records an infinite-error attempt."""
+        from repro.columnstore.expressions import Between
+
+        base = sky_engine.catalog.table("PhotoObjAll")
+        # a sliver of ra that exists in the base but is very unlikely
+        # to be in the 100-row smallest layer
+        ra = np.sort(base["ra"])
+        sliver = Query(
+            table="PhotoObjAll",
+            predicate=Between("ra", ra[10], ra[12]),
+            aggregates=[AggregateSpec("avg", "r_mag")],
+        )
+        outcome = processor.execute(sliver)
+        assert outcome.result is not None
+        assert np.isfinite(
+            outcome.result.estimates["avg(r_mag)"].value
+        ) or outcome.result.exact
+        # at least one rung was recorded as unanswerable or escalated
+        assert len(outcome.attempts) >= 1
+
+
+class TestStrictMode:
+    def test_quality_violation_raises(self, processor):
+        with pytest.raises(QualityBoundError, match="error bound"):
+            processor.execute(
+                cone_count(),
+                QualityContract(
+                    max_relative_error=0.0001, time_budget=2_000, strict=True
+                ),
+            )
+
+    def test_budget_violation_raises(self, processor):
+        with pytest.raises(BudgetExceededError, match="budget"):
+            processor.execute(
+                cone_count(), QualityContract(time_budget=10, strict=True)
+            )
+
+
+class TestGroupedQueries:
+    def test_grouped_aggregate_with_loose_bound(self, processor):
+        q = Query(
+            table="PhotoObjAll",
+            aggregates=[AggregateSpec("count")],
+            group_by=("obj_type",),
+        )
+        outcome = processor.execute(q, QualityContract(max_relative_error=0.5))
+        groups = outcome.result.groups
+        assert groups is not None
+        assert groups.num_rows == 2  # GALAXY and STAR
+
+    def test_grouped_zero_bound_reaches_exact(self, processor, sky_engine):
+        q = Query(
+            table="PhotoObjAll",
+            aggregates=[AggregateSpec("count")],
+            group_by=("obj_type",),
+        )
+        outcome = processor.execute(q, QualityContract(max_relative_error=0.0))
+        assert outcome.result.exact
+        total = outcome.result.groups["count(*)"].sum()
+        assert total == sky_engine.catalog.table("PhotoObjAll").num_rows
+
+    def test_many_small_groups_force_escalation(self, processor):
+        """Per-group error bounds: rare groups have huge relative
+        errors on small layers, so a tight bound escalates."""
+        q = Query(
+            table="PhotoObjAll",
+            aggregates=[AggregateSpec("count")],
+            group_by=("fieldID",),
+        )
+        loose = processor.execute(q, QualityContract(max_relative_error=None))
+        tight = processor.execute(q, QualityContract(max_relative_error=0.2))
+        assert tight.total_cost > loose.total_cost
+
+
+class TestRowQueriesBounded:
+    def test_row_query_support_error_drives_escalation(self, processor):
+        from repro.columnstore.expressions import Between
+
+        q = Query(
+            table="PhotoObjAll",
+            predicate=Between("ra", 140, 160),
+            select=("objID", "ra"),
+            limit=25,
+        )
+        outcome = processor.execute(q, QualityContract(max_relative_error=0.05))
+        assert outcome.met_quality
+        rows = outcome.result.rows
+        assert rows.num_rows <= 25
+        assert (rows["ra"] >= 140).all()
+
+
+class TestResultRecord:
+    def test_describe_traces_the_ladder(self, processor):
+        outcome = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.05)
+        )
+        text = outcome.describe()
+        assert "attempt" in text
+        assert str(len(outcome.attempts)) in text
+
+    def test_attempt_costs_sum_to_total(self, processor):
+        outcome = processor.execute(
+            cone_count(), QualityContract(max_relative_error=0.02)
+        )
+        assert sum(a.cost for a in outcome.attempts) == pytest.approx(
+            outcome.total_cost
+        )

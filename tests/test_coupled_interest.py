@@ -1,0 +1,105 @@
+"""Tests for the 2-D coupled interest model (paper footnote 3)."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.expressions import Between, RadialPredicate
+from repro.columnstore.query import Query
+from repro.workload.interest import CoupledInterest, InterestModel
+
+
+@pytest.fixture
+def coupled() -> CoupledInterest:
+    return CoupledInterest("ra", "dec", (120.0, 240.0), (0.0, 60.0), bins=24)
+
+
+def cone(ra: float, dec: float) -> Query:
+    return Query(table="t", predicate=RadialPredicate("ra", "dec", ra, dec, 2.0))
+
+
+class TestObservation:
+    def test_observe_query_pairs_the_centre(self, coupled):
+        coupled.observe_query(cone(150.0, 10.0))
+        assert coupled.predicate_set_size == 1
+
+    def test_single_attribute_query_contributes_nothing(self, coupled):
+        coupled.observe_query(Query(table="t", predicate=Between("ra", 140, 160)))
+        assert coupled.predicate_set_size == 0
+
+    def test_collector_hook_pairs_fifo(self, coupled):
+        coupled.observe_values("ra", np.array([150.0]))
+        assert coupled.predicate_set_size == 0  # waiting for dec
+        coupled.observe_values("dec", np.array([10.0]))
+        assert coupled.predicate_set_size == 1
+
+    def test_unrelated_attribute_ignored(self, coupled):
+        coupled.observe_values("mjd", np.array([55_000.0]))
+        assert coupled.predicate_set_size == 0
+
+
+class TestMass:
+    def test_cold_model_is_agnostic(self, coupled):
+        mass = coupled.mass({"ra": np.array([150.0]), "dec": np.array([10.0])})
+        np.testing.assert_array_equal(mass, [1.0])
+
+    def test_missing_attribute_is_agnostic(self, coupled, rng):
+        coupled.observe_pairs(rng.normal(150, 3, 100), rng.normal(10, 2, 100))
+        mass = coupled.mass({"ra": np.array([150.0])})
+        np.testing.assert_array_equal(mass, [1.0])
+
+    def test_mass_peaks_at_observed_pairs(self, coupled, rng):
+        coupled.observe_pairs(rng.normal(150, 3, 200), rng.normal(10, 2, 200))
+        focal = coupled.mass({"ra": np.array([150.0]), "dec": np.array([10.0])})[0]
+        distant = coupled.mass({"ra": np.array([230.0]), "dec": np.array([55.0])})[0]
+        assert focal > 20 * max(distant, 1e-9)
+
+    def test_distinguishes_true_targets_from_marginal_phantoms(self, rng):
+        """The footnote-3 point: a workload visiting (150,10) and
+        (205,40) should NOT mark (150,40) — but marginal histograms
+        do, because ra=150 and dec=40 are both popular."""
+        coupled = CoupledInterest("ra", "dec", (120, 240), (0, 60), bins=24)
+        marginal = InterestModel(
+            {"ra": (120.0, 240.0), "dec": (0.0, 60.0)}, bins=24
+        )
+        ra_a, dec_a = rng.normal(150, 3, 200), rng.normal(10, 2, 200)
+        ra_b, dec_b = rng.normal(205, 3, 200), rng.normal(40, 2, 200)
+        coupled.observe_pairs(
+            np.concatenate([ra_a, ra_b]), np.concatenate([dec_a, dec_b])
+        )
+        marginal.observe_values("ra", np.concatenate([ra_a, ra_b]))
+        marginal.observe_values("dec", np.concatenate([dec_a, dec_b]))
+
+        phantom = {"ra": np.array([150.0]), "dec": np.array([40.0])}
+        true_target = {"ra": np.array([150.0]), "dec": np.array([10.0])}
+        # marginal model: phantom looks as hot as the true target
+        assert marginal.mass(phantom)[0] > 0.5 * marginal.mass(true_target)[0]
+        # coupled model: phantom is orders of magnitude colder
+        assert coupled.mass(phantom)[0] < 0.1 * coupled.mass(true_target)[0]
+
+    def test_decay(self, coupled, rng):
+        coupled.observe_pairs(rng.normal(150, 3, 100), rng.normal(10, 2, 100))
+        coupled.decay(0.5)
+        assert coupled.predicate_set_size <= 50
+
+
+class TestSamplingIntegration:
+    def test_plugs_into_biased_reservoir(self, coupled, rng):
+        from repro.sampling.biased import BiasedReservoir
+
+        coupled.observe_pairs(rng.normal(150, 3, 300), rng.normal(10, 2, 300))
+        sampler = BiasedReservoir(500, coupled.mass, rng=6)
+        n = 50_000
+        ra = rng.uniform(120, 240, n)
+        dec = rng.uniform(0, 60, n)
+        for chunk in np.array_split(np.arange(n), 10):
+            sampler.offer_batch(
+                chunk, {"ra": ra[chunk], "dec": dec[chunk]}
+            )
+        ids = sampler.row_ids
+        focal = (
+            (np.abs(ra[ids] - 150) < 10) & (np.abs(dec[ids] - 10) < 6)
+        ).mean()
+        population = (
+            (np.abs(ra - 150) < 10) & (np.abs(dec - 10) < 6)
+        ).mean()
+        assert focal > 5 * population

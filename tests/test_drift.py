@@ -1,0 +1,64 @@
+"""Tests for workload-drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.workload.drift import DriftDetector
+
+
+class TestDistance:
+    def test_no_drift_on_stationary_workload(self, rng):
+        detector = DriftDetector((0, 100), bins=20, window=100, threshold=0.35)
+        for _ in range(10):
+            detector.observe(rng.normal(50, 5, 50))
+        assert detector.distance() < 0.2
+        assert not detector.drifted
+
+    def test_detects_focal_shift(self, rng):
+        detector = DriftDetector((0, 100), bins=20, window=100, threshold=0.35)
+        for _ in range(10):
+            detector.observe(rng.normal(20, 3, 50))
+        for _ in range(4):
+            detector.observe(rng.normal(80, 3, 50))
+        assert detector.drifted
+
+    def test_quiet_before_window_half_full(self, rng):
+        detector = DriftDetector((0, 100), window=200)
+        detector.observe(rng.normal(20, 3, 10))
+        assert detector.distance() == 0.0
+
+    def test_empty_observation_ignored(self):
+        detector = DriftDetector((0, 100))
+        detector.observe(np.array([]))
+        assert detector.observations == 0
+
+
+class TestResetReference:
+    def test_reset_stops_refiring(self, rng):
+        detector = DriftDetector((0, 100), bins=20, window=100, threshold=0.3)
+        for _ in range(10):
+            detector.observe(rng.normal(20, 3, 50))
+        for _ in range(4):
+            detector.observe(rng.normal(80, 3, 50))
+        assert detector.drifted
+        detector.reset_reference()
+        # recent window matches new reference: calm again
+        assert not detector.drifted
+        # workload continuing at the new focus stays calm
+        for _ in range(4):
+            detector.observe(rng.normal(80, 3, 50))
+        assert not detector.drifted
+
+
+class TestValidation:
+    def test_empty_domain(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            DriftDetector((5, 5))
+
+    def test_threshold_range(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DriftDetector((0, 1), threshold=1.5)
+
+    def test_window_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            DriftDetector((0, 1), window=0)

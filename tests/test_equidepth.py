@@ -1,0 +1,78 @@
+"""Tests for equi-depth histograms (ref [18])."""
+
+import numpy as np
+import pytest
+
+from repro.stats.equidepth import EquiDepthHistogram
+
+
+class TestConstruction:
+    def test_bins_roughly_equal_depth(self, rng):
+        values = rng.normal(0, 1, 10_000)
+        hist = EquiDepthHistogram(values, 20)
+        assert hist.counts.sum() == 10_000
+        np.testing.assert_allclose(hist.counts, hist.depth, rtol=0.05)
+
+    def test_handles_skew_better_than_fixed_width(self, rng):
+        values = np.concatenate([rng.normal(0, 0.01, 9_000), rng.uniform(0, 100, 1_000)])
+        hist = EquiDepthHistogram(values, 10)
+        # no bin should be nearly empty: that's the point of equi-depth
+        assert hist.counts.min() > 0.3 * hist.depth
+
+    def test_caps_bins_at_distinct_rows(self):
+        hist = EquiDepthHistogram(np.array([1.0, 2.0]), 10)
+        assert hist.bins == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="nothing"):
+            EquiDepthHistogram(np.array([]), 4)
+
+    def test_edges_monotone(self, rng):
+        hist = EquiDepthHistogram(rng.exponential(2, 1000), 16)
+        assert (np.diff(hist.edges) >= 0).all()
+
+
+class TestSelectivity:
+    def test_full_range_is_one(self, rng):
+        values = rng.normal(0, 1, 2000)
+        hist = EquiDepthHistogram(values, 16)
+        assert hist.selectivity(values.min(), values.max()) == pytest.approx(
+            1.0, abs=0.02
+        )
+
+    def test_matches_true_fraction(self, rng):
+        values = rng.normal(0, 1, 20_000)
+        hist = EquiDepthHistogram(values, 32)
+        true_fraction = ((values >= -1) & (values <= 1)).mean()
+        assert hist.selectivity(-1, 1) == pytest.approx(true_fraction, abs=0.03)
+
+    def test_inverted_bounds_normalised(self, rng):
+        hist = EquiDepthHistogram(rng.normal(0, 1, 1000), 8)
+        assert hist.selectivity(1, -1) == hist.selectivity(-1, 1)
+
+    def test_disjoint_range_is_zero(self, rng):
+        hist = EquiDepthHistogram(rng.uniform(0, 1, 1000), 8)
+        assert hist.selectivity(5, 6) == 0.0
+
+    def test_duplicate_heavy_data(self):
+        values = np.concatenate([np.zeros(900), np.ones(100)])
+        hist = EquiDepthHistogram(values, 10)
+        assert hist.selectivity(-0.5, 0.5) == pytest.approx(0.9, abs=0.1)
+
+
+class TestQuantile:
+    def test_median_of_symmetric_data(self, rng):
+        values = rng.normal(5, 1, 10_000)
+        hist = EquiDepthHistogram(values, 32)
+        assert hist.quantile(0.5) == pytest.approx(np.median(values), abs=0.1)
+
+    def test_bounds(self, rng):
+        values = rng.uniform(0, 1, 1000)
+        hist = EquiDepthHistogram(values, 8)
+        assert hist.quantile(0.0) == pytest.approx(values.min(), abs=1e-9)
+        assert hist.quantile(1.0) == pytest.approx(values.max(), abs=1e-9)
+
+    def test_invalid_quantile(self, rng):
+        hist = EquiDepthHistogram(rng.uniform(0, 1, 100), 4)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)

@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    EstimationError,
+    ImpressionError,
+    LoadError,
+    QualityBoundError,
+    QueryError,
+    SamplingError,
+    SchemaError,
+    SciborqError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SchemaError,
+            QueryError,
+            LoadError,
+            SamplingError,
+            ImpressionError,
+            EstimationError,
+        ],
+    )
+    def test_all_derive_from_base(self, error_type):
+        assert issubclass(error_type, SciborqError)
+
+    def test_unknown_table_is_schema_error(self):
+        assert issubclass(UnknownTableError, SchemaError)
+
+    def test_catch_all_at_api_boundary(self):
+        try:
+            raise UnknownColumnError("t", "c")
+        except SciborqError as caught:
+            assert caught.table == "t" and caught.column == "c"
+
+
+class TestMessages:
+    def test_unknown_table_names_the_table(self):
+        assert "ghost" in str(UnknownTableError("ghost"))
+
+    def test_unknown_column_names_both(self):
+        message = str(UnknownColumnError("fact", "nope"))
+        assert "fact" in message and "nope" in message
+
+    def test_quality_bound_carries_both_errors(self):
+        error = QualityBoundError(0.05, 0.2)
+        assert error.requested == 0.05
+        assert error.achieved == 0.2
+        assert "0.05" in str(error) and "0.2" in str(error)
+
+    def test_budget_exceeded_carries_figures(self):
+        error = BudgetExceededError(100.0, 250.0)
+        assert error.budget == 100.0
+        assert error.required == 250.0
+        assert "100" in str(error)

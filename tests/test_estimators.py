@@ -1,0 +1,170 @@
+"""Tests for design-based estimators and their error bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.stats.estimators import (
+    Estimate,
+    hajek_mean,
+    ht_count,
+    ht_sum,
+    srs_count,
+    srs_mean,
+    srs_sum,
+)
+
+
+class TestEstimateRecord:
+    def test_ci_is_symmetric(self):
+        e = Estimate(100.0, 10.0, 0.95, "m", 50)
+        low, high = e.ci
+        assert high - e.value == pytest.approx(e.value - low)
+        assert e.half_width == pytest.approx(19.59964, rel=1e-4)
+
+    def test_relative_error(self):
+        e = Estimate(200.0, 10.0, 0.95, "m", 50)
+        assert e.relative_error == pytest.approx(e.half_width / 200.0)
+
+    def test_zero_estimate_relative_error(self):
+        assert Estimate(0.0, 1.0, 0.95, "m", 5).relative_error == math.inf
+        assert Estimate(0.0, 0.0, 0.95, "m", 5).relative_error == 0.0
+
+    def test_contains(self):
+        e = Estimate(10.0, 1.0, 0.95, "m", 50)
+        assert e.contains(10.5)
+        assert not e.contains(20.0)
+
+    def test_str_mentions_method(self):
+        assert "srs" in str(Estimate(1.0, 0.1, 0.95, "srs-count", 10))
+
+
+class TestSRSCount:
+    def test_point_estimate_scales_proportion(self):
+        e = srs_count(10, 100, 10_000)
+        assert e.value == 1000.0
+
+    def test_unbiased_over_replications(self, rng):
+        population = np.zeros(5000)
+        population[:500] = 1  # 10% match
+        estimates = []
+        for _ in range(300):
+            sample = rng.choice(population, 200, replace=False)
+            estimates.append(srs_count(int(sample.sum()), 200, 5000).value)
+        assert np.mean(estimates) == pytest.approx(500, rel=0.05)
+
+    def test_coverage_near_nominal(self, rng):
+        population = np.zeros(5000)
+        population[:1000] = 1
+        covered = 0
+        runs = 300
+        for _ in range(runs):
+            sample = rng.choice(population, 250, replace=False)
+            e = srs_count(int(sample.sum()), 250, 5000, confidence=0.95)
+            covered += e.contains(1000.0)
+        assert covered / runs > 0.88  # 95% nominal, finite-sample slack
+
+    def test_full_census_has_zero_error(self):
+        e = srs_count(30, 100, 100)  # n = N: FPC kills the variance
+        assert e.se == 0.0 and e.relative_error == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            srs_count(5, 0, 100)
+        with pytest.raises(ValueError):
+            srs_count(11, 10, 100)
+
+
+class TestSRSSumMean:
+    def test_sum_unbiased(self, rng):
+        population = rng.normal(50, 10, 2000)
+        estimates = []
+        for _ in range(200):
+            idx = rng.choice(2000, 100, replace=False)
+            estimates.append(srs_sum(population[idx], 100, 2000).value)
+        assert np.mean(estimates) == pytest.approx(population.sum(), rel=0.01)
+
+    def test_sum_with_predicate_zeros(self, rng):
+        """Matching values are zero-extended to the whole sample."""
+        e = srs_sum(np.array([10.0, 20.0]), 100, 1000)
+        assert e.value == pytest.approx(1000 * 30.0 / 100)
+
+    def test_mean_matches_sample_mean_of_matches(self):
+        e = srs_mean(np.array([2.0, 4.0, 6.0]), 100, 1000)
+        assert e.value == 4.0
+
+    def test_mean_requires_matches(self):
+        with pytest.raises(EstimationError, match="zero matching"):
+            srs_mean(np.array([]), 100, 1000)
+
+    def test_se_shrinks_with_more_matches(self, rng):
+        few = srs_mean(rng.normal(10, 2, 10), 1000, 10_000)
+        many = srs_mean(rng.normal(10, 2, 500), 1000, 10_000)
+        assert many.se < few.se
+
+    def test_sum_more_matches_than_sample_rejected(self):
+        with pytest.raises(ValueError, match="more matches"):
+            srs_sum(np.ones(20), 10, 100)
+
+
+class TestHorvitzThompson:
+    def test_count_point_estimate(self):
+        pis = np.full(50, 0.01)
+        assert ht_count(pis).value == pytest.approx(5000.0)
+
+    def test_sum_unbiased_under_unequal_probabilities(self, rng):
+        values = rng.uniform(1, 10, 1000)
+        pis = np.clip(values / values.sum() * 300, 0.01, 1.0)  # size-biased
+        estimates = []
+        for _ in range(300):
+            included = rng.random(1000) < pis
+            estimates.append(ht_sum(values[included], pis[included]).value)
+        assert np.mean(estimates) == pytest.approx(values.sum(), rel=0.02)
+
+    def test_certain_inclusion_contributes_no_variance(self):
+        e = ht_sum(np.array([5.0]), np.array([1.0]))
+        assert e.value == 5.0 and e.se == 0.0
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(EstimationError, match="inclusion"):
+            ht_sum(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(EstimationError, match="inclusion"):
+            ht_count(np.array([1.5]))
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(EstimationError, match="align"):
+            ht_sum(np.ones(3), np.full(2, 0.5))
+
+
+class TestHajekMean:
+    def test_equal_probabilities_reduce_to_plain_mean(self):
+        values = np.array([1.0, 2.0, 3.0])
+        e = hajek_mean(values, np.full(3, 0.1))
+        assert e.value == pytest.approx(2.0)
+
+    def test_unbiased_under_biased_design(self, rng):
+        values = rng.normal(100, 15, 2000)
+        # inclusion correlated with the value: the bias HT must undo
+        pis = np.clip((values - values.min() + 1) / 500, 0.02, 0.9)
+        estimates = []
+        for _ in range(300):
+            included = rng.random(2000) < pis
+            estimates.append(hajek_mean(values[included], pis[included]).value)
+        assert np.mean(estimates) == pytest.approx(values.mean(), rel=0.01)
+
+    def test_requires_values(self):
+        with pytest.raises(EstimationError, match="zero matching"):
+            hajek_mean(np.array([]), np.array([]))
+
+    def test_coverage_under_biased_design(self, rng):
+        values = rng.normal(100, 15, 2000)
+        pis = np.clip((values - values.min() + 1) / 500, 0.02, 0.9)
+        truth = values.mean()
+        covered = 0
+        runs = 200
+        for _ in range(runs):
+            included = rng.random(2000) < pis
+            covered += hajek_mean(values[included], pis[included]).contains(truth)
+        assert covered / runs > 0.85

@@ -1,0 +1,135 @@
+"""Tests for the predicate AST: evaluation, predicate-set extraction,
+fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.expressions import (
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    RadialPredicate,
+    TruePredicate,
+    col_between,
+    col_eq,
+)
+from repro.columnstore.table import Table
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_arrays(
+        "t",
+        {
+            "x": np.array([0.0, 1.0, 2.0, 3.0, 4.0]),
+            "y": np.array([0.0, 0.0, 2.0, 0.0, 4.0]),
+            "tag": np.array([0, 1, 0, 1, 0]),
+        },
+    )
+
+
+class TestEvaluation:
+    def test_true_predicate_matches_all(self, table):
+        assert TruePredicate().evaluate(table).all()
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<", [True, True, False, False, False]),
+            ("<=", [True, True, True, False, False]),
+            (">", [False, False, False, True, True]),
+            (">=", [False, False, True, True, True]),
+            ("==", [False, False, True, False, False]),
+            ("!=", [True, True, False, True, True]),
+        ],
+    )
+    def test_comparisons(self, table, op, expected):
+        mask = Comparison("x", op, 2.0).evaluate(table)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError, match="unknown comparison"):
+            Comparison("x", "<>", 1)
+
+    def test_between_inclusive(self, table):
+        mask = Between("x", 1.0, 3.0).evaluate(table)
+        np.testing.assert_array_equal(mask, [False, True, True, True, False])
+
+    def test_between_inverted_bounds(self):
+        with pytest.raises(QueryError, match="inverted"):
+            Between("x", 3.0, 1.0)
+
+    def test_in_set(self, table):
+        mask = InSet("x", [0.0, 4.0]).evaluate(table)
+        np.testing.assert_array_equal(mask, [True, False, False, False, True])
+
+    def test_in_set_requires_values(self):
+        with pytest.raises(QueryError, match="at least one"):
+            InSet("x", [])
+
+    def test_radial(self, table):
+        mask = RadialPredicate("x", "y", 0.0, 0.0, 1.5).evaluate(table)
+        np.testing.assert_array_equal(mask, [True, True, False, False, False])
+
+    def test_radial_negative_radius(self):
+        with pytest.raises(QueryError, match="non-negative"):
+            RadialPredicate("x", "y", 0, 0, -1)
+
+    def test_and_or_not(self, table):
+        expr = (col_between("x", 1, 3) & col_eq("tag", 1)) | Not(
+            Comparison("x", "<", 4)
+        )
+        mask = expr.evaluate(table)
+        np.testing.assert_array_equal(mask, [False, True, False, True, True])
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(QueryError):
+            And([])
+        with pytest.raises(QueryError):
+            Or([])
+
+
+class TestRequestedValues:
+    def test_equality_logs_point(self):
+        assert col_eq("x", 5).requested_values() == {"x": [5.0]}
+
+    def test_non_numeric_equality_logs_nothing(self):
+        assert col_eq("name", "abc").requested_values() == {}
+
+    def test_between_logs_midpoint(self):
+        assert Between("x", 10, 20).requested_values() == {"x": [15.0]}
+
+    def test_radial_logs_centre_per_axis(self):
+        values = RadialPredicate("ra", "dec", 185, 0, 3).requested_values()
+        assert values == {"ra": [185.0], "dec": [0.0]}
+
+    def test_conjunction_merges_per_attribute(self):
+        expr = And([col_eq("x", 1), col_eq("x", 2), col_eq("y", 3)])
+        values = expr.requested_values()
+        assert values["x"] == [1.0, 2.0] and values["y"] == [3.0]
+
+    def test_negation_expresses_disinterest(self):
+        assert Not(col_eq("x", 1)).requested_values() == {}
+
+    def test_in_set_logs_numeric_members(self):
+        assert InSet("x", [1, 2]).requested_values() == {"x": [1.0, 2.0]}
+
+
+class TestFingerprints:
+    def test_same_predicate_same_fingerprint(self):
+        a = Between("x", 1, 2) & col_eq("y", 3)
+        b = Between("x", 1, 2) & col_eq("y", 3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_constants_differ(self):
+        assert (
+            Between("x", 1, 2).fingerprint() != Between("x", 1, 3).fingerprint()
+        )
+
+    def test_columns_collection(self):
+        expr = RadialPredicate("ra", "dec", 0, 0, 1) & col_eq("t", 1)
+        assert expr.columns() == {"ra", "dec", "t"}

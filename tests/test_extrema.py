@@ -1,0 +1,60 @@
+"""Tests for the extrema reservoir (the paper's outlier impressions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.extrema import ExtremaReservoir
+
+
+class TestTracking:
+    def test_exact_min_and_max(self, rng):
+        values = rng.normal(0, 10, 5000)
+        reservoir = ExtremaReservoir(20, "v")
+        for chunk_ids in np.array_split(np.arange(5000), 7):
+            reservoir.offer_batch(chunk_ids, {"v": values[chunk_ids]})
+        assert reservoir.minimum == values.min()
+        assert reservoir.maximum == values.max()
+
+    def test_keeps_k_smallest_and_largest(self, rng):
+        values = rng.permutation(1000).astype(float)
+        reservoir = ExtremaReservoir(10, "v")
+        reservoir.offer_batch(np.arange(1000), {"v": values})
+        kept_values = np.sort(values[reservoir.row_ids])
+        np.testing.assert_array_equal(kept_values[:5], np.arange(5.0))
+        np.testing.assert_array_equal(kept_values[-5:], np.arange(995.0, 1000.0))
+
+    def test_capacity_respected(self, rng):
+        reservoir = ExtremaReservoir(8, "v")
+        reservoir.offer_batch(np.arange(100), {"v": rng.normal(0, 1, 100)})
+        assert reservoir.size == 8 == len(reservoir)
+
+    def test_streaming_matches_batch(self, rng):
+        values = rng.normal(0, 5, 2000)
+        streamed = ExtremaReservoir(16, "v")
+        for ids in np.array_split(np.arange(2000), 13):
+            streamed.offer_batch(ids, {"v": values[ids]})
+        whole = ExtremaReservoir(16, "v")
+        whole.offer_batch(np.arange(2000), {"v": values})
+        assert set(streamed.row_ids.tolist()) == set(whole.row_ids.tolist())
+
+
+class TestValidation:
+    def test_capacity_minimum(self):
+        with pytest.raises(SamplingError, match="at least 2"):
+            ExtremaReservoir(1, "v")
+
+    def test_missing_attribute(self):
+        reservoir = ExtremaReservoir(4, "v")
+        with pytest.raises(SamplingError, match="missing"):
+            reservoir.offer_batch(np.arange(2), {"w": np.zeros(2)})
+
+    def test_misaligned_inputs(self):
+        reservoir = ExtremaReservoir(4, "v")
+        with pytest.raises(SamplingError, match="align"):
+            reservoir.offer_batch(np.arange(3), {"v": np.zeros(2)})
+
+    def test_extremes_before_any_data(self):
+        reservoir = ExtremaReservoir(4, "v")
+        with pytest.raises(SamplingError, match="no values"):
+            _ = reservoir.minimum

@@ -1,0 +1,120 @@
+"""Tests for Fisher's noncentral hypergeometric distribution (ref [6])."""
+
+import numpy as np
+import pytest
+from scipy.stats import hypergeom
+
+from repro.stats.fnchg import FisherNCHypergeometric, MultivariateFisherNCH
+
+
+class TestUnivariate:
+    def test_pmf_sums_to_one(self):
+        d = FisherNCHypergeometric(30, 70, 20, 2.5)
+        lo, hi = d.support
+        assert d.pmf(np.arange(lo, hi + 1)).sum() == pytest.approx(1.0)
+
+    def test_odds_one_reduces_to_central_hypergeometric(self):
+        d = FisherNCHypergeometric(30, 70, 20, 1.0)
+        xs = np.arange(*[s + o for s, o in zip(d.support, (0, 1))])
+        expected = hypergeom(100, 30, 20).pmf(xs)
+        np.testing.assert_allclose(d.pmf(xs), expected, atol=1e-12)
+        assert d.mean == pytest.approx(20 * 30 / 100)
+
+    def test_higher_odds_shift_mass_up(self):
+        low = FisherNCHypergeometric(30, 70, 20, 0.5)
+        high = FisherNCHypergeometric(30, 70, 20, 4.0)
+        assert high.mean > low.mean
+
+    def test_support_bounds(self):
+        d = FisherNCHypergeometric(5, 3, 6, 2.0)
+        assert d.support == (3, 5)  # needs at least 3 reds: 6 - 3 whites
+        assert d.pmf(np.array([2]))[0] == 0.0
+        assert d.pmf(np.array([6]))[0] == 0.0
+
+    def test_cdf_monotone_and_complete(self):
+        d = FisherNCHypergeometric(30, 70, 20, 3.0)
+        lo, hi = d.support
+        cdf = d.cdf(np.arange(lo, hi + 1))
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert d.cdf(np.array([lo - 1]))[0] == 0.0
+
+    def test_mean_variance_against_monte_carlo(self, rng):
+        d = FisherNCHypergeometric(50, 950, 100, 5.0)
+        samples = d.sample(rng, 40_000)
+        assert d.mean == pytest.approx(samples.mean(), rel=0.02)
+        assert d.variance == pytest.approx(samples.var(), rel=0.08)
+
+    def test_mode_is_argmax_of_pmf(self):
+        d = FisherNCHypergeometric(40, 60, 30, 2.0)
+        lo, hi = d.support
+        xs = np.arange(lo, hi + 1)
+        assert d.mode == xs[np.argmax(d.pmf(xs))]
+
+    @pytest.mark.parametrize(
+        "m1,m2,n,odds",
+        [(50, 950, 100, 5.0), (500, 500, 300, 0.3), (10, 10, 5, 1.0)],
+    )
+    def test_mean_approximation_close_to_exact(self, m1, m2, n, odds):
+        d = FisherNCHypergeometric(m1, m2, n, odds)
+        assert d.mean_approximation() == pytest.approx(d.mean, rel=0.02, abs=0.2)
+
+    def test_samples_within_support(self, rng):
+        d = FisherNCHypergeometric(10, 5, 12, 0.7)
+        samples = d.sample(rng, 1000)
+        lo, hi = d.support
+        assert samples.min() >= lo and samples.max() <= hi
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FisherNCHypergeometric(-1, 10, 5, 1.0)
+        with pytest.raises(ValueError):
+            FisherNCHypergeometric(5, 5, 11, 1.0)
+        with pytest.raises(ValueError):
+            FisherNCHypergeometric(5, 5, 5, 0.0)
+
+
+class TestMultivariate:
+    def test_two_class_case_matches_univariate(self):
+        mv = MultivariateFisherNCH([30, 70], [2.5, 1.0], 20)
+        uv = FisherNCHypergeometric(30, 70, 20, 2.5)
+        means = mv.marginal_means()
+        assert means[0] == pytest.approx(uv.mean, rel=1e-6)
+        assert means.sum() == pytest.approx(20.0)
+
+    def test_marginal_means_sum_to_n(self):
+        mv = MultivariateFisherNCH([100, 300, 600], [4.0, 2.0, 1.0], 200)
+        assert mv.marginal_means().sum() == pytest.approx(200.0)
+
+    def test_means_against_monte_carlo(self, rng):
+        mv = MultivariateFisherNCH([100, 300, 600], [4.0, 2.0, 1.0], 200)
+        draws = np.array([mv.sample(rng) for _ in range(2000)])
+        np.testing.assert_allclose(
+            mv.marginal_means(), draws.mean(axis=0), rtol=0.08
+        )
+
+    def test_sample_sums_to_n_and_respects_sizes(self, rng):
+        mv = MultivariateFisherNCH([10, 20, 5], [1.0, 3.0, 0.5], 15)
+        for _ in range(200):
+            counts = mv.sample(rng)
+            assert counts.sum() == 15
+            assert (counts >= 0).all()
+            assert (counts <= np.array([10, 20, 5])).all()
+
+    def test_higher_odds_class_gets_more(self):
+        mv = MultivariateFisherNCH([100, 100], [5.0, 1.0], 50)
+        means = mv.marginal_means()
+        assert means[0] > means[1]
+
+    def test_empty_class_contributes_nothing(self):
+        mv = MultivariateFisherNCH([0, 100], [2.0, 1.0], 10)
+        means = mv.marginal_means()
+        assert means[0] == 0.0 and means[1] == pytest.approx(10.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MultivariateFisherNCH([10, 10], [1.0], 5)
+        with pytest.raises(ValueError):
+            MultivariateFisherNCH([10, 10], [1.0, -1.0], 5)
+        with pytest.raises(ValueError):
+            MultivariateFisherNCH([10, 10], [1.0, 1.0], 21)

@@ -1,0 +1,100 @@
+"""Tests for impression hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.query import AggregateSpec, Query
+from repro.columnstore.table import Table
+from repro.core.hierarchy import ImpressionHierarchy
+from repro.core.impression import Impression
+from repro.errors import ImpressionError
+from repro.sampling.reservoir import ReservoirR
+
+
+@pytest.fixture
+def base() -> Table:
+    return Table.from_arrays(
+        "base", {"id": np.arange(10_000), "x": np.zeros(10_000)}
+    )
+
+
+def make_layer(capacity: int, base: Table, seed: int, columns=None) -> Impression:
+    sampler = ReservoirR(capacity, rng=seed)
+    sampler.offer_batch(np.arange(base.num_rows))
+    return Impression(f"base/L{capacity}", "base", sampler, columns=columns)
+
+
+@pytest.fixture
+def hierarchy(base) -> ImpressionHierarchy:
+    layers = [make_layer(c, base, i) for i, c in enumerate((1000, 100, 10))]
+    return ImpressionHierarchy("base/h", "base", layers)
+
+
+class TestConstruction:
+    def test_layers_ordered_and_indexed(self, hierarchy):
+        assert hierarchy.depth == 3
+        assert [l.capacity for l in hierarchy.layers] == [1000, 100, 10]
+        assert [l.layer for l in hierarchy.layers] == [0, 1, 2]
+
+    def test_requires_layers(self):
+        with pytest.raises(ImpressionError, match="at least one"):
+            ImpressionHierarchy("h", "base", [])
+
+    def test_rejects_non_decreasing_capacities(self, base):
+        layers = [make_layer(100, base, 0), make_layer(100, base, 1)]
+        with pytest.raises(ImpressionError, match="strictly decrease"):
+            ImpressionHierarchy("h", "base", layers)
+
+    def test_rejects_foreign_layers(self, base):
+        stranger = Impression("other/L0", "other", ReservoirR(10, rng=0))
+        with pytest.raises(ImpressionError, match="samples"):
+            ImpressionHierarchy("h", "base", [stranger])
+
+
+class TestIteration:
+    def test_from_smallest(self, hierarchy):
+        sizes = [l.capacity for l in hierarchy.from_smallest()]
+        assert sizes == [10, 100, 1000]
+
+    def test_from_largest(self, hierarchy):
+        sizes = [l.capacity for l in hierarchy.from_largest()]
+        assert sizes == [1000, 100, 10]
+
+    def test_layer_lookup(self, hierarchy):
+        assert hierarchy.layer(0).capacity == 1000
+        with pytest.raises(ImpressionError, match="no layer"):
+            hierarchy.layer(5)
+
+
+class TestCandidates:
+    def test_all_layers_for_full_columns(self, hierarchy, base):
+        q = Query(table="base", aggregates=[AggregateSpec("avg", "x")])
+        candidates = hierarchy.candidates_for(q, base)
+        assert [c.capacity for c in candidates] == [10, 100, 1000]
+
+    def test_column_subset_layers_excluded(self, base):
+        layers = [
+            make_layer(1000, base, 0),
+            make_layer(100, base, 1, columns=("id",)),  # no 'x'
+        ]
+        hierarchy = ImpressionHierarchy("h", "base", layers)
+        q = Query(table="base", aggregates=[AggregateSpec("avg", "x")])
+        candidates = hierarchy.candidates_for(q, base)
+        assert [c.capacity for c in candidates] == [1000]
+
+
+class TestBudgetSelection:
+    def test_largest_within_cost(self, hierarchy):
+        assert hierarchy.largest_within_cost(5000).capacity == 1000
+        assert hierarchy.largest_within_cost(500).capacity == 100
+        assert hierarchy.largest_within_cost(50).capacity == 10
+
+    def test_nothing_fits(self, hierarchy):
+        assert hierarchy.largest_within_cost(5) is None
+
+    def test_total_rows(self, hierarchy):
+        assert hierarchy.total_rows() == 1110
+
+    def test_describe_mentions_layers(self, hierarchy):
+        text = hierarchy.describe()
+        assert "layer 0" in text and "layer 2" in text

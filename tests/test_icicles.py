@@ -1,0 +1,113 @@
+"""Tests for ICICLES-style self-tuning samples (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.icicles import SelfTuningReservoir
+
+
+class TestBasics:
+    def test_capacity_respected(self, rng):
+        r = SelfTuningReservoir(100, rng=0)
+        r.offer_batch(np.arange(10_000))
+        assert r.size == len(r) == 100
+
+    def test_counters(self):
+        r = SelfTuningReservoir(10, rng=1)
+        r.offer_batch(np.arange(50))
+        r.offer_results(np.arange(5))
+        assert r.seen == 50
+        assert r.result_offers == 5
+
+    def test_touch_weight_accumulates(self):
+        r = SelfTuningReservoir(10, result_boost=2.0, rng=2)
+        r.offer_batch(np.array([7]))
+        r.offer_results(np.array([7, 7]))
+        assert r.touch_weight(7) == pytest.approx(1.0 + 2.0 + 2.0)
+        assert r.touch_weight(99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SamplingError, match="capacity"):
+            SelfTuningReservoir(0)
+        with pytest.raises(SamplingError, match="result_boost"):
+            SelfTuningReservoir(10, result_boost=0.0)
+
+
+class TestSelfTuning:
+    def test_result_tuples_become_overrepresented(self):
+        """The ICICLES effect: repeatedly queried rows concentrate."""
+        hot = np.arange(1_000)  # the workload's working set
+        shares = []
+        for seed in range(10):
+            r = SelfTuningReservoir(500, rng=seed)
+            r.offer_batch(np.arange(20_000))
+            for _ in range(10):  # ten queries touching the hot rows
+                r.offer_results(hot)
+            shares.append(np.isin(r.row_ids, hot).mean())
+        population_share = 1_000 / 20_000
+        assert np.mean(shares) > 4 * population_share
+
+    def test_without_results_behaves_like_plain_reservoir(self):
+        r = SelfTuningReservoir(1_000, rng=3)
+        n = 50_000
+        r.offer_batch(np.arange(n))
+        se = n / np.sqrt(12 * 1_000)
+        assert abs(r.row_ids.mean() - n / 2) < 4 * se
+
+    def test_result_boost_accelerates_tuning(self):
+        hot = np.arange(500)
+        slow_shares, fast_shares = [], []
+        for seed in range(8):
+            slow = SelfTuningReservoir(400, result_boost=1.0, rng=seed)
+            fast = SelfTuningReservoir(400, result_boost=5.0, rng=seed + 50)
+            for r in (slow, fast):
+                r.offer_batch(np.arange(10_000))
+                for _ in range(5):
+                    r.offer_results(hot)
+            slow_shares.append(np.isin(slow.row_ids, hot).mean())
+            fast_shares.append(np.isin(fast.row_ids, hot).mean())
+        assert np.mean(fast_shares) > np.mean(slow_shares)
+
+    def test_inclusion_probabilities_scale_with_touches(self):
+        r = SelfTuningReservoir(200, rng=4)
+        r.offer_batch(np.arange(5_000))
+        hot = np.arange(200)
+        for _ in range(10):
+            r.offer_results(hot)
+        pis = r.inclusion_probabilities()
+        ids = r.row_ids
+        hot_in_sample = np.isin(ids, hot)
+        if hot_in_sample.any() and (~hot_in_sample).any():
+            assert pis[hot_in_sample].mean() > 3 * pis[~hot_in_sample].mean()
+        assert (pis > 0).all() and (pis <= 1).all()
+
+
+class TestEngineIntegration:
+    def test_exact_queries_feed_the_self_tuning_sample(self, fresh_sky_engine):
+        from repro.columnstore import AggregateSpec, Query
+        from repro.columnstore.expressions import RadialPredicate
+
+        engine = fresh_sky_engine
+        reservoir = engine.enable_result_recycling("PhotoObjAll", capacity=2_000)
+        # loads after enabling flow in through the builder
+        from repro.skyserver.generator import SkyGenerator
+
+        engine.ingest("PhotoObjAll", SkyGenerator(rng=90).photoobj_batch(10_000))
+        assert reservoir.seen == 10_000
+
+        q = Query(
+            table="PhotoObjAll",
+            predicate=RadialPredicate("ra", "dec", 150.0, 10.0, 5.0),
+            aggregates=[AggregateSpec("count")],
+        )
+        before = reservoir.result_offers
+        for _ in range(3):
+            engine.execute_exact(q)
+        assert reservoir.result_offers > before
+
+    def test_lookup_requires_enabling(self, fresh_sky_engine):
+        from repro.errors import ImpressionError
+
+        with pytest.raises(ImpressionError, match="not enabled"):
+            fresh_sky_engine.self_tuning_sample("PhotoObjAll")

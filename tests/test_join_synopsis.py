@@ -1,0 +1,137 @@
+"""Tests for FK-consistent join synopses (Acharya et al., ref [3])."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import AggregateSpec, Catalog, Executor, JoinSpec, Query, Table
+from repro.columnstore.catalog import ForeignKey
+from repro.errors import ImpressionError
+from repro.sampling.join_synopsis import JoinSynopsis
+
+
+@pytest.fixture
+def star_catalog(rng) -> Catalog:
+    catalog = Catalog()
+    n = 2000
+    catalog.add_table(
+        Table.from_arrays(
+            "fact",
+            {
+                "id": np.arange(n),
+                "fk": rng.integers(0, 100, n),
+                "v": rng.normal(10, 2, n),
+            },
+        )
+    )
+    catalog.add_table(
+        Table.from_arrays(
+            "dim", {"pk": np.arange(100), "w": rng.normal(0, 1, 100)}
+        )
+    )
+    catalog.add_foreign_key(ForeignKey("fact", "fk", "dim", "pk"))
+    return catalog
+
+
+class TestRefresh:
+    def test_dimension_rows_cover_sampled_keys(self, star_catalog, rng):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        sampled = rng.choice(2000, 150, replace=False)
+        synopsis.refresh(sampled)
+        fact = star_catalog.table("fact")
+        dim = star_catalog.table("dim")
+        needed = set(fact["fk"][sampled].tolist())
+        provided = set(dim["pk"][synopsis.dimension_row_ids("dim")].tolist())
+        assert needed == provided
+        assert not synopsis.has_pending
+
+    def test_join_on_synopsis_is_lossless(self, star_catalog, rng):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        sampled = rng.choice(2000, 100, replace=False)
+        synopsis.refresh(sampled)
+        syn_catalog = synopsis.to_catalog()
+        result = Executor(syn_catalog).execute(
+            Query(
+                table="fact",
+                joins=[JoinSpec("dim", "fk", "pk", ("w",))],
+                aggregates=[AggregateSpec("count")],
+            )
+        )
+        assert result.scalar("count(*)") == 100  # no dangling fact rows
+
+    def test_pending_keys_resolved_by_later_refresh(self, rng):
+        """The paper §3.3: joining tuples may arrive in later loads."""
+        catalog = Catalog()
+        catalog.add_table(
+            Table.from_arrays(
+                "fact", {"id": np.arange(10), "fk": np.arange(10)}
+            )
+        )
+        catalog.add_table(
+            Table.from_arrays("dim", {"pk": np.arange(5)})  # keys 5..9 missing
+        )
+        catalog.add_foreign_key(ForeignKey("fact", "fk", "dim", "pk"))
+        synopsis = JoinSynopsis(catalog, "fact")
+        synopsis.refresh(np.arange(10))
+        assert synopsis.has_pending
+        np.testing.assert_array_equal(
+            synopsis.pending_keys("dim"), np.arange(5, 10)
+        )
+        catalog.table("dim").append_batch({"pk": np.arange(5, 10)})
+        synopsis.refresh(np.arange(10))
+        assert not synopsis.has_pending
+
+    def test_row_ids_out_of_range_rejected(self, star_catalog):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        with pytest.raises(ImpressionError, match="exceed"):
+            synopsis.refresh(np.array([999_999]))
+
+    def test_empty_sample(self, star_catalog):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        synopsis.refresh(np.array([], dtype=np.int64))
+        assert synopsis.size_rows() == 0
+
+
+class TestMaterialise:
+    def test_table_names_preserved(self, star_catalog, rng):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        synopsis.refresh(rng.choice(2000, 50, replace=False))
+        tables = synopsis.materialise()
+        assert set(tables) == {"fact", "dim"}
+        assert tables["fact"].num_rows == 50
+
+    def test_unknown_dimension_lookup(self, star_catalog):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        synopsis.refresh(np.arange(5))
+        with pytest.raises(ImpressionError, match="not a dimension"):
+            synopsis.dimension_row_ids("ghost")
+
+    def test_size_rows_counts_everything(self, star_catalog, rng):
+        synopsis = JoinSynopsis(star_catalog, "fact")
+        sampled = rng.choice(2000, 50, replace=False)
+        synopsis.refresh(sampled)
+        assert synopsis.size_rows() == 50 + synopsis.dimension_row_ids("dim").shape[0]
+
+    def test_correlation_preserved_vs_independent_sampling(self, rng):
+        """The paper's reason for join synopses: independent per-table
+        samples lose FK matches; the synopsis never does."""
+        catalog = Catalog()
+        n = 1000
+        catalog.add_table(
+            Table.from_arrays(
+                "fact", {"id": np.arange(n), "fk": rng.integers(0, 500, n)}
+            )
+        )
+        catalog.add_table(Table.from_arrays("dim", {"pk": np.arange(500)}))
+        catalog.add_foreign_key(ForeignKey("fact", "fk", "dim", "pk"))
+        sampled_fact = rng.choice(n, 100, replace=False)
+
+        # independent 20% dimension sample: expect ~80% of joins broken
+        independent_dim = rng.choice(500, 100, replace=False)
+        fact_keys = catalog.table("fact")["fk"][sampled_fact]
+        survived = np.isin(fact_keys, independent_dim).mean()
+        assert survived < 0.5
+
+        synopsis = JoinSynopsis(catalog, "fact")
+        synopsis.refresh(sampled_fact)
+        dim_keys = catalog.table("dim")["pk"][synopsis.dimension_row_ids("dim")]
+        assert np.isin(fact_keys, dim_keys).all()

@@ -1,0 +1,89 @@
+"""Tests for the Last Seen impression (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.last_seen import LastSeenReservoir
+
+
+def run_days(sampler: LastSeenReservoir, days: int, daily: int) -> None:
+    for day in range(days):
+        sampler.offer_batch(np.arange(day * daily, (day + 1) * daily))
+
+
+class TestConfiguration:
+    def test_defaults_keep_equals_capacity(self):
+        s = LastSeenReservoir(100, daily_ingest=1000)
+        assert s.keep == 100
+        assert s.acceptance_rate == pytest.approx(0.1)
+
+    def test_acceptance_rate_capped_at_one(self):
+        s = LastSeenReservoir(100, daily_ingest=50)
+        assert s.acceptance_rate == 1.0
+
+    def test_invalid_daily_ingest(self):
+        with pytest.raises(SamplingError, match="daily_ingest"):
+            LastSeenReservoir(10, daily_ingest=0)
+
+    def test_invalid_keep(self):
+        with pytest.raises(SamplingError, match="keep"):
+            LastSeenReservoir(10, daily_ingest=100, keep=11)
+        with pytest.raises(SamplingError, match="keep"):
+            LastSeenReservoir(10, daily_ingest=100, keep=0)
+
+
+class TestRecencyBias:
+    def test_recent_fraction_matches_closed_form(self):
+        s = LastSeenReservoir(1000, daily_ingest=10_000, rng=11)
+        run_days(s, 10, 10_000)
+        recent = (s.row_ids >= 90_000).mean()
+        expected = s.expected_recent_fraction()
+        assert recent == pytest.approx(expected, abs=0.06)
+
+    def test_more_recency_than_algorithm_r(self):
+        from repro.sampling.reservoir import ReservoirR
+
+        last_seen = LastSeenReservoir(500, daily_ingest=5_000, rng=12)
+        uniform = ReservoirR(500, rng=13)
+        for day in range(10):
+            ids = np.arange(day * 5_000, (day + 1) * 5_000)
+            last_seen.offer_batch(ids)
+            uniform.offer_batch(ids)
+        recent_ls = (last_seen.row_ids >= 45_000).mean()
+        recent_r = (uniform.row_ids >= 45_000).mean()
+        assert recent_ls > 3 * recent_r  # ~0.63 vs ~0.10
+
+    def test_keep_ratio_halves_recent_fraction(self):
+        full = LastSeenReservoir(1000, daily_ingest=10_000, keep=1000, rng=14)
+        half = LastSeenReservoir(1000, daily_ingest=10_000, keep=500, rng=15)
+        run_days(full, 8, 10_000)
+        run_days(half, 8, 10_000)
+        recent_full = (full.row_ids >= 70_000).mean()
+        recent_half = (half.row_ids >= 70_000).mean()
+        assert recent_half < recent_full
+        assert recent_half == pytest.approx(
+            half.expected_recent_fraction(), abs=0.06
+        )
+
+    def test_age_distribution_is_geometric_ish(self):
+        """Older ingests occupy geometrically fewer slots."""
+        s = LastSeenReservoir(2000, daily_ingest=10_000, rng=16)
+        run_days(s, 6, 10_000)
+        per_day = np.bincount(s.row_ids // 10_000, minlength=6)
+        # strictly more slots for newer days (allowing small noise)
+        assert per_day[5] > per_day[3] > per_day[1]
+
+
+class TestExpectedRecentFraction:
+    def test_window_default_is_daily_ingest(self):
+        s = LastSeenReservoir(100, daily_ingest=1000)
+        assert s.expected_recent_fraction() == s.expected_recent_fraction(1000)
+
+    def test_monotone_in_window(self):
+        s = LastSeenReservoir(100, daily_ingest=1000)
+        assert s.expected_recent_fraction(2000) > s.expected_recent_fraction(500)
+
+    def test_capped_at_one(self):
+        s = LastSeenReservoir(10, daily_ingest=10)
+        assert s.expected_recent_fraction(10_000) == 1.0

@@ -1,0 +1,137 @@
+"""Tests for hierarchy snapshots (save/restore across sessions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.maintenance import rebuild_from_base
+from repro.core.persistence import (
+    load_hierarchy,
+    read_snapshot_metadata,
+    save_hierarchy,
+)
+from repro.core.policy import UniformPolicy, build_hierarchy
+from repro.errors import ImpressionError
+
+
+@pytest.fixture
+def populated(fresh_sky_engine):
+    return fresh_sky_engine, fresh_sky_engine.hierarchy("PhotoObjAll")
+
+
+class TestRoundtrip:
+    def test_state_survives_save_load(self, populated, tmp_path):
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+
+        twin = build_hierarchy(
+            "PhotoObjAll", UniformPolicy(layer_sizes=(5_000, 500)), rng=999
+        )
+        load_hierarchy(twin, path)
+        for original, restored in zip(hierarchy.layers, twin.layers):
+            np.testing.assert_array_equal(original.row_ids, restored.row_ids)
+            np.testing.assert_allclose(
+                original.inclusion_probabilities(),
+                restored.inclusion_probabilities(),
+            )
+            assert restored.sampler.seen == original.sampler.seen
+
+    def test_restored_hierarchy_answers_queries(self, populated, tmp_path):
+        from repro.columnstore import AggregateSpec, Query
+        from repro.columnstore.expressions import RadialPredicate
+        from repro.core.bounded import BoundedQueryProcessor
+
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        twin = build_hierarchy(
+            "PhotoObjAll", UniformPolicy(layer_sizes=(5_000, 500)), rng=1000
+        )
+        load_hierarchy(twin, path)
+        processor = BoundedQueryProcessor(engine.catalog, twin)
+        outcome = processor.execute(
+            Query(
+                table="PhotoObjAll",
+                predicate=RadialPredicate("ra", "dec", 150.0, 10.0, 5.0),
+                aggregates=[AggregateSpec("count")],
+            )
+        )
+        exact = engine.execute_exact(
+            Query(
+                table="PhotoObjAll",
+                predicate=RadialPredicate("ra", "dec", 150.0, 10.0, 5.0),
+                aggregates=[AggregateSpec("count")],
+            )
+        )
+        estimate = outcome.result.estimates["count(*)"]
+        assert estimate.value == pytest.approx(exact.scalar("count(*)"), rel=0.3)
+
+    def test_metadata_readable_without_loading(self, populated, tmp_path):
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        metadata = read_snapshot_metadata(path)
+        assert metadata["base_table"] == "PhotoObjAll"
+        assert [l["capacity"] for l in metadata["layers"]] == [5_000, 500]
+
+    def test_suffix_appended_when_missing(self, populated, tmp_path):
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap")
+        assert path.suffix == ".npz" and path.exists()
+
+
+class TestValidation:
+    def test_wrong_base_table_rejected(self, populated, tmp_path):
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        other = build_hierarchy(
+            "Field", UniformPolicy(layer_sizes=(5_000, 500)), rng=1
+        )
+        with pytest.raises(ImpressionError, match="base table"):
+            load_hierarchy(other, path)
+
+    def test_wrong_depth_rejected(self, populated, tmp_path):
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        shallow = build_hierarchy(
+            "PhotoObjAll", UniformPolicy(layer_sizes=(5_000,)), rng=2
+        )
+        with pytest.raises(ImpressionError, match="layers"):
+            load_hierarchy(shallow, path)
+
+    def test_wrong_capacity_rejected(self, populated, tmp_path):
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        mismatched = build_hierarchy(
+            "PhotoObjAll", UniformPolicy(layer_sizes=(4_000, 400)), rng=3
+        )
+        with pytest.raises(ImpressionError, match="capacity mismatch"):
+            load_hierarchy(mismatched, path)
+
+
+class TestBiasedSnapshot:
+    def test_pps_pis_survive_roundtrip(self, fresh_sky_engine, tmp_path):
+        """A πps-rebuilt biased hierarchy keeps its exact πs across
+        the snapshot (they are what the error bounds rest on)."""
+        engine = fresh_sky_engine
+        for _ in range(50):
+            engine.planner.observe("ra", np.random.default_rng(5).normal(150, 3, 10))
+            engine.interest.observe_values(
+                "ra", np.random.default_rng(6).normal(150, 3, 10)
+            )
+        engine.create_hierarchy(
+            "PhotoObjAll", policy="biased", layer_sizes=(4_000, 400)
+        )
+        engine.rebuild("PhotoObjAll")
+        hierarchy = engine.hierarchy("PhotoObjAll")
+        pis_before = hierarchy.layer(0).inclusion_probabilities()
+        path = save_hierarchy(hierarchy, tmp_path / "biased.npz")
+
+        from repro.core.policy import BiasedPolicy
+
+        twin = build_hierarchy(
+            "PhotoObjAll",
+            BiasedPolicy(engine.interest, layer_sizes=(4_000, 400)),
+            rng=7,
+        )
+        load_hierarchy(twin, path)
+        np.testing.assert_allclose(
+            twin.layer(0).inclusion_probabilities(), pis_before
+        )

@@ -1,0 +1,93 @@
+"""Tests for construction policies and the hierarchy factory."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    BiasedPolicy,
+    LastSeenPolicy,
+    UniformPolicy,
+    build_hierarchy,
+)
+from repro.errors import ImpressionError
+from repro.sampling.biased import BiasedReservoir
+from repro.sampling.last_seen import LastSeenReservoir
+from repro.sampling.reservoir import ReservoirR
+from repro.workload.interest import InterestModel
+
+
+@pytest.fixture
+def interest() -> InterestModel:
+    model = InterestModel({"x": (0.0, 100.0)}, bins=10)
+    model.observe_values("x", np.full(50, 20.0))
+    return model
+
+
+class TestPolicies:
+    def test_uniform_makes_reservoir_r(self):
+        sampler = UniformPolicy().make_sampler(10, rng=0)
+        assert isinstance(sampler, ReservoirR)
+        assert sampler.capacity == 10
+
+    def test_biased_shares_interest_model(self, interest):
+        policy = BiasedPolicy(interest, layer_sizes=(100, 10))
+        a = policy.make_sampler(100, rng=0)
+        b = policy.make_sampler(10, rng=1)
+        assert isinstance(a, BiasedReservoir)
+        assert a.mass_fn == b.mass_fn == interest.mass
+
+    def test_last_seen_keep_ratio(self):
+        policy = LastSeenPolicy(daily_ingest=1000, keep_ratio=0.5)
+        sampler = policy.make_sampler(100, rng=0)
+        assert isinstance(sampler, LastSeenReservoir)
+        assert sampler.keep == 50
+
+    def test_last_seen_validation(self):
+        with pytest.raises(ImpressionError):
+            LastSeenPolicy(daily_ingest=0)
+        with pytest.raises(ImpressionError):
+            LastSeenPolicy(daily_ingest=10, keep_ratio=0.0)
+
+    def test_policy_kinds(self, interest):
+        assert UniformPolicy().kind == "uniform"
+        assert BiasedPolicy(interest).kind == "biased"
+        assert LastSeenPolicy(10).kind == "last-seen"
+
+
+class TestBuildHierarchy:
+    def test_layer_names_and_sizes(self):
+        hierarchy = build_hierarchy(
+            "t", UniformPolicy(layer_sizes=(100, 10)), rng=0
+        )
+        assert hierarchy.name == "t/uniform"
+        assert [l.capacity for l in hierarchy.layers] == [100, 10]
+        assert hierarchy.layers[0].name == "t/uniform/L0"
+
+    def test_custom_name(self):
+        hierarchy = build_hierarchy(
+            "t", UniformPolicy(layer_sizes=(10,)), name="mine", rng=0
+        )
+        assert hierarchy.name == "mine"
+
+    def test_layers_get_independent_rngs(self):
+        hierarchy = build_hierarchy(
+            "t", UniformPolicy(layer_sizes=(100, 50)), rng=7
+        )
+        for layer in hierarchy.layers:
+            layer.sampler.offer_batch(np.arange(1000))
+        a, b = (set(l.row_ids.tolist()) for l in hierarchy.layers)
+        assert a != b  # independent streams produce different samples
+
+    def test_column_subset_propagates(self):
+        hierarchy = build_hierarchy(
+            "t", UniformPolicy(layer_sizes=(10,)), columns=("x",), rng=0
+        )
+        assert hierarchy.layers[0].columns == ("x",)
+
+    def test_size_validation(self):
+        with pytest.raises(ImpressionError, match="strictly decrease"):
+            build_hierarchy("t", UniformPolicy(layer_sizes=(10, 10)))
+        with pytest.raises(ImpressionError, match="positive"):
+            build_hierarchy("t", UniformPolicy(layer_sizes=(10, 0)))
+        with pytest.raises(ImpressionError, match="at least one"):
+            build_hierarchy("t", UniformPolicy(layer_sizes=()))

@@ -1,0 +1,123 @@
+"""Tests for fixed-size systematic πps sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.sampling.pps import pps_inclusion_probabilities, systematic_pps_sample
+
+
+class TestInclusionProbabilities:
+    def test_sum_equals_n(self, rng):
+        masses = rng.uniform(0.1, 5.0, 1000)
+        pis = pps_inclusion_probabilities(masses, 100)
+        assert pis.sum() == pytest.approx(100.0)
+
+    def test_proportional_when_uncapped(self, rng):
+        masses = rng.uniform(1.0, 2.0, 1000)
+        pis = pps_inclusion_probabilities(masses, 50)
+        ratio = pis / masses
+        np.testing.assert_allclose(ratio, ratio[0])
+
+    def test_capping_iterates_correctly(self):
+        masses = np.array([100.0, 1.0, 1.0, 1.0, 1.0])
+        pis = pps_inclusion_probabilities(masses, 3)
+        assert pis[0] == 1.0
+        assert pis[1:].sum() == pytest.approx(2.0)
+        np.testing.assert_allclose(pis[1:], 0.5)
+
+    def test_cascading_caps(self):
+        # after capping the first, the second also exceeds 1
+        masses = np.array([1000.0, 100.0, 1.0, 1.0, 1.0, 1.0])
+        pis = pps_inclusion_probabilities(masses, 4)
+        assert pis[0] == pis[1] == 1.0
+        assert pis[2:].sum() == pytest.approx(2.0)
+
+    def test_all_equal_masses_reduce_to_uniform(self):
+        pis = pps_inclusion_probabilities(np.full(10, 3.0), 4)
+        np.testing.assert_allclose(pis, 0.4)
+
+    def test_all_zero_masses_spread_uniformly(self):
+        pis = pps_inclusion_probabilities(np.zeros(10), 4)
+        np.testing.assert_allclose(pis, 0.4)
+
+    def test_zero_mass_items_excluded_when_others_exist(self):
+        masses = np.array([0.0, 1.0, 1.0, 0.0])
+        pis = pps_inclusion_probabilities(masses, 2)
+        np.testing.assert_allclose(pis, [0.0, 1.0, 1.0, 0.0])
+
+    def test_n_equals_population_gives_all_ones(self, rng):
+        masses = rng.uniform(0.1, 5.0, 20)
+        pis = pps_inclusion_probabilities(masses, 20)
+        np.testing.assert_allclose(pis, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError, match="one-dimensional"):
+            pps_inclusion_probabilities(np.zeros((2, 2)), 1)
+        with pytest.raises(SamplingError, match="non-negative"):
+            pps_inclusion_probabilities(np.array([-1.0]), 1)
+        with pytest.raises(SamplingError, match="cannot draw"):
+            pps_inclusion_probabilities(np.ones(3), 4)
+
+    @given(
+        masses=st.lists(st.floats(0.01, 100.0), min_size=5, max_size=100),
+        fraction=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, masses, fraction):
+        masses = np.array(masses)
+        n = max(1, int(fraction * masses.shape[0]))
+        pis = pps_inclusion_probabilities(masses, n)
+        assert pis.sum() == pytest.approx(n, rel=1e-9)
+        assert (pis >= 0).all() and (pis <= 1.0 + 1e-12).all()
+        # monotone in mass: a heavier item never gets a smaller π
+        order = np.argsort(masses)
+        assert (np.diff(pis[order]) >= -1e-9).all()
+
+
+class TestSystematicSample:
+    def test_fixed_size(self, rng):
+        masses = rng.uniform(0.1, 10.0, 2000)
+        for seed in range(5):
+            indices, pis = systematic_pps_sample(masses, 150, rng=seed)
+            assert indices.shape[0] == 150
+            assert np.unique(indices).shape[0] == 150
+
+    def test_returned_pis_match_global_computation(self, rng):
+        masses = rng.uniform(0.1, 10.0, 500)
+        indices, pis = systematic_pps_sample(masses, 50, rng=0)
+        expected = pps_inclusion_probabilities(masses, 50)
+        np.testing.assert_allclose(pis, expected[indices])
+
+    def test_certain_items_always_selected(self):
+        masses = np.array([1000.0] + [1.0] * 99)
+        for seed in range(10):
+            indices, _ = systematic_pps_sample(masses, 10, rng=seed)
+            assert 0 in indices
+
+    def test_empirical_inclusion_matches_pi(self, rng):
+        """The defining property: item i appears with frequency π_i."""
+        masses = np.concatenate([np.full(50, 4.0), np.full(450, 1.0)])
+        pis = pps_inclusion_probabilities(masses, 50)
+        hits = np.zeros(500)
+        runs = 400
+        for seed in range(runs):
+            indices, _ = systematic_pps_sample(masses, 50, rng=seed)
+            hits[indices] += 1
+        freq = hits / runs
+        # compare class-average frequencies (tight: systematic πps)
+        assert freq[:50].mean() == pytest.approx(pis[:50].mean(), abs=0.03)
+        assert freq[50:].mean() == pytest.approx(pis[50:].mean(), abs=0.02)
+
+    def test_ht_estimate_from_pps_sample_is_unbiased(self, rng):
+        from repro.stats.estimators import ht_sum
+
+        values = rng.uniform(10, 20, 1000)
+        masses = rng.uniform(0.5, 3.0, 1000)
+        estimates = []
+        for seed in range(200):
+            indices, pis = systematic_pps_sample(masses, 100, rng=seed)
+            estimates.append(ht_sum(values[indices], pis).value)
+        assert np.mean(estimates) == pytest.approx(values.sum(), rel=0.01)

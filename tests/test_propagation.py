@@ -1,0 +1,119 @@
+"""Tests for delta-method error propagation (paper §6 future work)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.stats.estimators import Estimate
+from repro.stats.propagation import (
+    add,
+    multiply,
+    ratio,
+    scale,
+    selectivity,
+    subtract,
+)
+
+
+def est(value: float, se: float, confidence: float = 0.95) -> Estimate:
+    return Estimate(value, se, confidence, "test", 100, 1000)
+
+
+class TestScale:
+    def test_value_and_se(self):
+        out = scale(est(10.0, 2.0), 3.0)
+        assert out.value == 30.0 and out.se == 6.0
+
+    def test_negative_factor_keeps_se_positive(self):
+        out = scale(est(10.0, 2.0), -3.0)
+        assert out.value == -30.0 and out.se == 6.0
+
+
+class TestAddSubtract:
+    def test_variances_add(self):
+        out = add(est(10.0, 3.0), est(20.0, 4.0))
+        assert out.value == 30.0
+        assert out.se == pytest.approx(5.0)
+
+    def test_subtract(self):
+        out = subtract(est(20.0, 3.0), est(10.0, 4.0))
+        assert out.value == 10.0
+        assert out.se == pytest.approx(5.0)
+
+    def test_confidence_mismatch_rejected(self):
+        with pytest.raises(EstimationError, match="confidence"):
+            add(est(1, 1, 0.95), est(1, 1, 0.99))
+
+
+class TestMultiplyRatio:
+    def test_product_delta_method(self):
+        out = multiply(est(10.0, 1.0), est(5.0, 0.5))
+        assert out.value == 50.0
+        assert out.se == pytest.approx(math.hypot(5.0, 5.0))
+
+    def test_ratio_relative_errors_add_in_quadrature(self):
+        out = ratio(est(100.0, 10.0), est(50.0, 2.5))
+        assert out.value == 2.0
+        expected_rel = math.hypot(0.1, 0.05)
+        assert out.se == pytest.approx(2.0 * expected_rel)
+
+    def test_ratio_by_zero_denominator(self):
+        out = ratio(est(5.0, 1.0), est(0.0, 1.0))
+        assert out.se == math.inf
+
+    def test_zero_numerator_keeps_finite_se(self):
+        out = ratio(est(0.0, 1.0), est(10.0, 1.0))
+        assert out.value == 0.0
+        assert out.se == pytest.approx(0.1)
+
+    def test_selectivity_wrapper(self):
+        out = selectivity(est(25.0, 2.0), est(100.0, 5.0))
+        assert out.value == pytest.approx(0.25)
+        assert out.method == "selectivity"
+
+
+class TestEmpiricalCalibration:
+    def test_ratio_se_matches_monte_carlo(self, rng):
+        """The delta-method SE should match the spread of simulated
+        ratios of two independent normals."""
+        mu_x, se_x = 100.0, 5.0
+        mu_y, se_y = 50.0, 2.0
+        out = ratio(est(mu_x, se_x), est(mu_y, se_y))
+        draws = rng.normal(mu_x, se_x, 50_000) / rng.normal(mu_y, se_y, 50_000)
+        assert out.se == pytest.approx(draws.std(), rel=0.1)
+        assert out.value == pytest.approx(draws.mean(), rel=0.01)
+
+    def test_difference_se_matches_monte_carlo(self, rng):
+        out = subtract(est(10.0, 1.5), est(4.0, 2.0))
+        draws = rng.normal(10, 1.5, 50_000) - rng.normal(4, 2.0, 50_000)
+        assert out.se == pytest.approx(draws.std(), rel=0.05)
+
+
+class TestEndToEndWithEngine:
+    def test_region_contrast_with_propagated_bounds(self, sky_engine):
+        """Estimate the difference in mean r_mag between two sky
+        regions, each from an impression, and check the propagated
+        interval covers the exact contrast."""
+        from repro.columnstore import AggregateSpec, Query
+        from repro.columnstore.expressions import RadialPredicate
+        from repro.core.quality import ImpressionEstimator
+
+        estimator = ImpressionEstimator(sky_engine.catalog)
+        layer = sky_engine.hierarchy("PhotoObjAll").layer(0)
+
+        def region_mean(ra, dec):
+            q = Query(
+                table="PhotoObjAll",
+                predicate=RadialPredicate("ra", "dec", ra, dec, 6.0),
+                aggregates=[AggregateSpec("avg", "r_mag")],
+            )
+            approx = estimator.estimate(q, layer).estimates["avg(r_mag)"]
+            exact = sky_engine.execute_exact(q).scalar("avg(r_mag)")
+            return approx, exact
+
+        a_est, a_exact = region_mean(150.0, 10.0)
+        b_est, b_exact = region_mean(205.0, 40.0)
+        contrast = subtract(a_est, b_est)
+        assert contrast.contains(a_exact - b_exact)

@@ -1,0 +1,81 @@
+"""Tests for declarative Query objects."""
+
+import pytest
+
+from repro.columnstore.expressions import Between, RadialPredicate
+from repro.columnstore.query import AggregateSpec, JoinSpec, Query
+from repro.errors import QueryError
+
+
+class TestAggregateSpec:
+    def test_count_star(self):
+        spec = AggregateSpec("count")
+        assert spec.output_name == "count(*)"
+
+    def test_alias_overrides_name(self):
+        assert AggregateSpec("avg", "x", alias="mean_x").output_name == "mean_x"
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            AggregateSpec("median", "x")
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(QueryError, match="requires a column"):
+            AggregateSpec("sum")
+
+
+class TestJoinSpec:
+    def test_requires_table(self):
+        with pytest.raises(QueryError, match="right table"):
+            JoinSpec("", "a", "b")
+
+
+class TestQuery:
+    def test_requires_table(self):
+        with pytest.raises(QueryError, match="table name"):
+            Query(table="")
+
+    def test_negative_limit(self):
+        with pytest.raises(QueryError, match="non-negative"):
+            Query(table="t", limit=-1)
+
+    def test_group_by_needs_aggregates(self):
+        with pytest.raises(QueryError, match="group_by requires"):
+            Query(table="t", group_by=["g"])
+
+    def test_is_aggregate(self):
+        assert Query(table="t", aggregates=[AggregateSpec("count")]).is_aggregate
+        assert not Query(table="t").is_aggregate
+
+    def test_requested_values_delegates_to_predicate(self):
+        q = Query(table="t", predicate=RadialPredicate("ra", "dec", 185, 0, 3))
+        assert q.requested_values() == {"ra": [185.0], "dec": [0.0]}
+
+    def test_columns_read_covers_all_clauses(self):
+        q = Query(
+            table="t",
+            predicate=Between("x", 0, 1),
+            select=("a",),
+            aggregates=(),
+            joins=(JoinSpec("d", "fk", "pk"),),
+            order_by="o",
+        )
+        assert q.columns_read() == {"x", "a", "fk", "o"}
+
+    def test_columns_read_includes_aggregate_columns(self):
+        q = Query(
+            table="t",
+            aggregates=[AggregateSpec("avg", "v")],
+            group_by=("g",),
+        )
+        assert {"v", "g"} <= q.columns_read()
+
+    def test_fingerprint_distinguishes_clauses(self):
+        base = Query(table="t", predicate=Between("x", 0, 1))
+        limited = Query(table="t", predicate=Between("x", 0, 1), limit=10)
+        assert base.fingerprint() != limited.fingerprint()
+
+    def test_fingerprint_stable_for_equal_queries(self):
+        a = Query(table="t", predicate=Between("x", 0, 1), limit=10)
+        b = Query(table="t", predicate=Between("x", 0, 1), limit=10)
+        assert a.fingerprint() == b.fingerprint()

@@ -1,0 +1,127 @@
+"""Tests for Algorithm R (paper Figure 2) and the reservoir base."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import chisquare
+
+from repro.errors import SamplingError
+from repro.sampling.reservoir import ReservoirR
+
+
+class TestBasics:
+    def test_initial_fill_keeps_everything(self):
+        r = ReservoirR(100, rng=0)
+        r.offer_batch(np.arange(60))
+        assert r.size == 60
+        np.testing.assert_array_equal(np.sort(r.row_ids), np.arange(60))
+
+    def test_capacity_never_exceeded(self, rng):
+        r = ReservoirR(50, rng=1)
+        for _ in range(20):
+            r.offer_batch(rng.integers(0, 10_000, 100))
+        assert r.size == 50 == len(r)
+
+    def test_seen_counts_all_offers(self):
+        r = ReservoirR(10, rng=2)
+        r.offer_batch(np.arange(5))
+        r.offer_batch(np.arange(5, 30))
+        assert r.seen == 30
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SamplingError, match="positive"):
+            ReservoirR(0)
+
+    def test_rejects_2d_row_ids(self):
+        with pytest.raises(SamplingError, match="one-dimensional"):
+            ReservoirR(5).offer_batch(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_offer_is_noop(self):
+        r = ReservoirR(5, rng=3)
+        assert r.offer_batch(np.array([], dtype=np.int64)) == 0
+
+    def test_batching_invariance_of_fill(self):
+        a = ReservoirR(100, rng=4)
+        a.offer_batch(np.arange(100))
+        b = ReservoirR(100, rng=4)
+        for chunk in np.array_split(np.arange(100), 7):
+            b.offer_batch(chunk)
+        np.testing.assert_array_equal(np.sort(a.row_ids), np.sort(b.row_ids))
+
+
+class TestUniformity:
+    def test_mean_of_sampled_ids_is_central(self):
+        r = ReservoirR(2000, rng=5)
+        n_stream = 100_000
+        for chunk in np.array_split(np.arange(n_stream), 20):
+            r.offer_batch(chunk)
+        # uniform sample of 0..N-1 has mean N/2 with se ≈ N/sqrt(12 n)
+        se = n_stream / np.sqrt(12 * 2000)
+        assert abs(r.row_ids.mean() - n_stream / 2) < 4 * se
+
+    def test_decile_occupancy_chi_square(self):
+        r = ReservoirR(5000, rng=6)
+        n_stream = 200_000
+        for chunk in np.array_split(np.arange(n_stream), 40):
+            r.offer_batch(chunk)
+        deciles = np.clip(r.row_ids * 10 // n_stream, 0, 9)
+        counts = np.bincount(deciles, minlength=10)
+        _, p_value = chisquare(counts)
+        assert p_value > 0.001  # uniform occupancy not rejected
+
+    def test_every_offered_tuple_can_survive(self):
+        """The very last tuple must have probability n/N of inclusion —
+        check by replication on a small configuration."""
+        hits = 0
+        runs = 2000
+        for seed in range(runs):
+            r = ReservoirR(5, rng=seed)
+            r.offer_batch(np.arange(20))
+            hits += 19 in r.row_ids
+        expected = 5 / 20
+        se = np.sqrt(expected * (1 - expected) / runs)
+        assert abs(hits / runs - expected) < 4 * se
+
+
+class TestInclusionProbabilities:
+    def test_exact_closed_form(self):
+        r = ReservoirR(100, rng=7)
+        r.offer_batch(np.arange(10_000))
+        pis = r.inclusion_probabilities()
+        np.testing.assert_allclose(pis, 100 / 10_000)
+
+    def test_before_overflow_probability_is_one(self):
+        r = ReservoirR(100, rng=8)
+        r.offer_batch(np.arange(40))
+        np.testing.assert_allclose(r.inclusion_probabilities(), 1.0)
+
+    def test_empty_reservoir(self):
+        assert ReservoirR(5).inclusion_probabilities().shape == (0,)
+
+
+class TestPropertyBased:
+    @given(
+        capacity=st.integers(1, 50),
+        stream=st.integers(0, 500),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_size_is_min_of_capacity_and_stream(self, capacity, stream, seed):
+        r = ReservoirR(capacity, rng=seed)
+        r.offer_batch(np.arange(stream))
+        assert r.size == min(capacity, stream)
+        assert r.seen == stream
+
+    @given(
+        capacity=st.integers(1, 30),
+        stream=st.integers(1, 300),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_contents_are_distinct_offered_ids(self, capacity, stream, seed):
+        r = ReservoirR(capacity, rng=seed)
+        r.offer_batch(np.arange(stream))
+        ids = r.row_ids
+        assert len(set(ids.tolist())) == len(ids)
+        assert set(ids.tolist()) <= set(range(stream))

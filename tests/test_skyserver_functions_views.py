@@ -1,0 +1,78 @@
+"""Tests for fGetNearbyObjEq and the Galaxy/Star views."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore import AggregateSpec, Executor, Query
+from repro.skyserver.functions import (
+    f_get_nearby_obj_eq,
+    nearby_count_query,
+    nearby_query,
+)
+from repro.skyserver.schema import GALAXY, STAR
+from repro.skyserver.views import register_skyserver_views
+
+
+class TestNearbyQueries:
+    def test_nearby_query_shape(self):
+        q = nearby_query(185.0, 0.0, 3.0)
+        assert q.table == "PhotoObjAll"
+        assert q.requested_values() == {"ra": [185.0], "dec": [0.0]}
+        assert not q.is_aggregate
+
+    def test_nearby_count_query_is_aggregate(self):
+        q = nearby_count_query(185.0, 0.0, 3.0)
+        assert q.is_aggregate
+        assert q.aggregates[0].output_name == "count(*)"
+
+    def test_results_inside_cone(self, sky_engine):
+        result = f_get_nearby_obj_eq(sky_engine.catalog, 150.0, 10.0, 3.0)
+        dx = result.rows["ra"] - 150.0
+        dy = result.rows["dec"] - 10.0
+        assert ((dx * dx + dy * dy) <= 9.0 + 1e-9).all()
+        assert result.rows.num_rows > 0  # cone centred on a sky patch
+
+    def test_limit_passthrough(self, sky_engine):
+        result = f_get_nearby_obj_eq(sky_engine.catalog, 150.0, 10.0, 5.0, limit=7)
+        assert result.rows.num_rows == 7
+
+    def test_count_matches_row_query(self, sky_engine):
+        ex = Executor(sky_engine.catalog)
+        rows = ex.execute(nearby_query(205.0, 40.0, 2.0, select=None))
+        count = ex.execute(nearby_count_query(205.0, 40.0, 2.0))
+        assert count.scalar("count(*)") == rows.rows.num_rows
+
+
+class TestViews:
+    def test_register_views_idempotent(self, sky_engine):
+        register_skyserver_views(sky_engine.catalog)
+        register_skyserver_views(sky_engine.catalog)  # second call: no error
+        assert sky_engine.catalog.has_view("Galaxy")
+        assert sky_engine.catalog.has_view("Star")
+
+    def test_galaxy_view_filters_type(self, sky_engine):
+        register_skyserver_views(sky_engine.catalog)
+        ex = Executor(sky_engine.catalog)
+        galaxies = ex.execute(
+            Query(table="Galaxy", aggregates=[AggregateSpec("count")])
+        ).scalar("count(*)")
+        expected = (sky_engine.catalog.table("PhotoObjAll")["obj_type"] == GALAXY).sum()
+        assert galaxies == expected
+
+    def test_galaxy_view_joins_photoz(self, sky_engine):
+        register_skyserver_views(sky_engine.catalog)
+        ex = Executor(sky_engine.catalog)
+        result = ex.execute(Query(table="Galaxy", limit=5))
+        assert "z_est" in result.rows.column_names
+
+    def test_star_view_complements_galaxy(self, sky_engine):
+        register_skyserver_views(sky_engine.catalog)
+        ex = Executor(sky_engine.catalog)
+        stars = ex.execute(
+            Query(table="Star", aggregates=[AggregateSpec("count")])
+        ).scalar("count(*)")
+        galaxies = ex.execute(
+            Query(table="Galaxy", aggregates=[AggregateSpec("count")])
+        ).scalar("count(*)")
+        total = sky_engine.catalog.table("PhotoObjAll").num_rows
+        assert stars + galaxies == total

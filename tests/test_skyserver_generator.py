@@ -1,0 +1,127 @@
+"""Tests for the synthetic sky generator."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.loader import Loader
+from repro.skyserver.generator import (
+    DEFAULT_PATCHES,
+    SkyGenerator,
+    SkyPatch,
+    build_skyserver,
+)
+from repro.skyserver.schema import DEC_RANGE, GALAXY, RA_RANGE, STAR, create_skyserver_catalog
+
+
+class TestSkyPatch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkyPatch(150, 10, sigma_ra=0, sigma_dec=1, weight=1)
+        with pytest.raises(ValueError):
+            SkyPatch(150, 10, sigma_ra=1, sigma_dec=1, weight=0)
+
+
+class TestPhotoObjBatches:
+    def test_batch_covers_schema(self):
+        gen = SkyGenerator(rng=0)
+        batch = gen.photoobj_batch(100)
+        from repro.skyserver.schema import photoobj_schema
+
+        assert set(batch) == set(photoobj_schema())
+        assert all(np.asarray(v).shape[0] == 100 for v in batch.values())
+
+    def test_obj_ids_are_sequential_across_batches(self):
+        gen = SkyGenerator(rng=1)
+        first = gen.photoobj_batch(50)
+        second = gen.photoobj_batch(50)
+        np.testing.assert_array_equal(first["objID"], np.arange(50))
+        np.testing.assert_array_equal(second["objID"], np.arange(50, 100))
+
+    def test_positions_inside_survey_window(self):
+        gen = SkyGenerator(rng=2)
+        batch = gen.photoobj_batch(5000)
+        assert (batch["ra"] >= RA_RANGE[0]).all() and (batch["ra"] <= RA_RANGE[1]).all()
+        assert (batch["dec"] >= DEC_RANGE[0]).all() and (batch["dec"] <= DEC_RANGE[1]).all()
+
+    def test_patches_create_overdensities(self):
+        gen = SkyGenerator(rng=3)
+        batch = gen.photoobj_batch(50_000)
+        patch = DEFAULT_PATCHES[0]
+        near = (
+            (np.abs(batch["ra"] - patch.ra) < 2 * patch.sigma_ra)
+            & (np.abs(batch["dec"] - patch.dec) < 2 * patch.sigma_dec)
+        ).mean()
+        window_area = (RA_RANGE[1] - RA_RANGE[0]) * (DEC_RANGE[1] - DEC_RANGE[0])
+        patch_area = (4 * patch.sigma_ra) * (4 * patch.sigma_dec)
+        uniform_share = patch_area / window_area
+        assert near > 3 * uniform_share
+
+    def test_mjd_strictly_increasing_with_objid(self):
+        gen = SkyGenerator(rng=4)
+        batch = gen.photoobj_batch(100)
+        assert (np.diff(batch["mjd"]) > 0).all()
+
+    def test_types_are_galaxy_or_star(self):
+        gen = SkyGenerator(rng=5)
+        batch = gen.photoobj_batch(1000)
+        assert set(np.unique(batch["obj_type"])) <= {GALAXY, STAR}
+
+    def test_magnitudes_ordered_by_colour(self):
+        gen = SkyGenerator(rng=6)
+        batch = gen.photoobj_batch(2000)
+        # redder bands are brighter on average in this synthetic sky
+        assert batch["u_mag"].mean() > batch["r_mag"].mean() > batch["z_mag"].mean()
+
+    def test_field_assignment_is_spatial(self):
+        gen = SkyGenerator(rng=7)
+        batch = gen.photoobj_batch(1000)
+        same_position = gen._field_of(batch["ra"], batch["dec"])
+        np.testing.assert_array_equal(batch["fieldID"], same_position)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            SkyGenerator(rng=0).photoobj_batch(0)
+
+
+class TestDimensions:
+    def test_field_table_size(self):
+        gen = SkyGenerator(fields=64, rng=8)
+        table = gen.field_table()
+        assert table["fieldID"].shape[0] == 64
+
+    def test_photoz_aligns_with_objids(self):
+        gen = SkyGenerator(rng=9)
+        batch = gen.photoobj_batch(10)
+        pz = gen.photoz_batch(batch["objID"])
+        np.testing.assert_array_equal(pz["pz_objID"], batch["objID"])
+        assert (pz["z_est"] >= 0).all()
+
+
+class TestBuildSkyserver:
+    def test_populates_everything(self):
+        catalog, loader, gen = build_skyserver(10_000, batch_size=3000, rng=10)
+        assert catalog.table("PhotoObjAll").num_rows == 10_000
+        assert catalog.table("Photoz").num_rows == 10_000
+        assert catalog.table("Field").num_rows > 0
+
+    def test_streams_through_given_loader(self):
+        from repro.columnstore.loader import LoadObserver
+
+        class Counter(LoadObserver):
+            seen = 0
+
+            def on_batch(self, table_name, start_row, batch):
+                Counter.seen += next(iter(batch.values())).shape[0]
+
+        loader = Loader(create_skyserver_catalog())
+        loader.register("PhotoObjAll", Counter())
+        build_skyserver(5000, batch_size=1000, loader=loader, rng=11)
+        assert Counter.seen == 5000
+
+    def test_incremental_followup_ingest(self):
+        catalog, loader, gen = build_skyserver(5000, rng=12)
+        batch = gen.photoobj_batch(1000)
+        loader.load_batch("PhotoObjAll", batch)
+        assert catalog.table("PhotoObjAll").num_rows == 6000
+        # obj ids continue the sequence
+        assert batch["objID"][0] == 5000

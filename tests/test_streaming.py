@@ -1,0 +1,95 @@
+"""Tests for streaming moment trackers (Welford/Chan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.streaming import MinMaxTracker, StreamingMoments
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestStreamingMoments:
+    def test_single_value(self):
+        m = StreamingMoments()
+        m.update(5.0)
+        assert m.count == 1 and m.mean == 5.0 and m.variance == 0.0
+
+    def test_matches_numpy(self, rng):
+        values = rng.normal(3, 2, 500)
+        m = StreamingMoments()
+        for v in values:
+            m.update(v)
+        assert m.mean == pytest.approx(values.mean())
+        assert m.variance == pytest.approx(values.var(ddof=1))
+
+    def test_batch_equals_sequential(self, rng):
+        values = rng.normal(0, 1, 300)
+        seq = StreamingMoments()
+        for v in values:
+            seq.update(v)
+        batch = StreamingMoments()
+        batch.update_batch(values)
+        assert batch.mean == pytest.approx(seq.mean)
+        assert batch.variance == pytest.approx(seq.variance)
+
+    def test_empty_batch_noop(self):
+        m = StreamingMoments()
+        m.update_batch(np.array([]))
+        assert m.count == 0
+
+    def test_merge_equals_concatenation(self, rng):
+        a_vals = rng.normal(1, 1, 100)
+        b_vals = rng.normal(5, 3, 200)
+        a = StreamingMoments()
+        a.update_batch(a_vals)
+        b = StreamingMoments()
+        b.update_batch(b_vals)
+        a.merge(b)
+        combined = np.concatenate([a_vals, b_vals])
+        assert a.count == 300
+        assert a.mean == pytest.approx(combined.mean())
+        assert a.variance == pytest.approx(combined.var(ddof=1))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=60), st.integers(1, 59))
+    @settings(max_examples=50, deadline=None)
+    def test_split_merge_invariant(self, values, split):
+        split = min(split, len(values) - 1)
+        left = StreamingMoments()
+        left.update_batch(np.array(values[:split]))
+        right = StreamingMoments()
+        right.update_batch(np.array(values[split:]))
+        left.merge(right)
+        whole = StreamingMoments()
+        whole.update_batch(np.array(values))
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean, abs=1e-6)
+        assert left.variance == pytest.approx(whole.variance, rel=1e-6, abs=1e-6)
+
+
+class TestMinMaxTracker:
+    def test_tracks_extremes(self):
+        t = MinMaxTracker()
+        t.update(3.0)
+        t.update(-1.0)
+        t.update(2.0)
+        assert t.min == -1.0 and t.max == 3.0 and t.span == 4.0
+
+    def test_batch(self, rng):
+        values = rng.normal(0, 1, 100)
+        t = MinMaxTracker()
+        t.update_batch(values)
+        assert t.min == values.min() and t.max == values.max()
+
+    def test_merge(self):
+        a, b = MinMaxTracker(), MinMaxTracker()
+        a.update(1.0)
+        b.update(10.0)
+        a.merge(b)
+        assert a.min == 1.0 and a.max == 10.0 and a.count == 2
+
+    def test_span_before_updates(self):
+        assert MinMaxTracker().span == 0.0

@@ -1,0 +1,81 @@
+"""Tests for cost clocks and budgets."""
+
+import pytest
+
+from repro.util.clock import Budget, CostClock, WallClock
+
+
+class TestCostClock:
+    def test_starts_at_zero(self):
+        assert CostClock().now == 0.0
+
+    def test_charge_accumulates(self):
+        clock = CostClock()
+        clock.charge(10)
+        clock.charge(2.5)
+        assert clock.now == 12.5
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CostClock().charge(-1)
+
+    def test_reset(self):
+        clock = CostClock()
+        clock.charge(5)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestWallClock:
+    def test_advances_on_its_own(self):
+        clock = WallClock()
+        before = clock.now
+        for _ in range(1000):
+            pass
+        assert clock.now >= before
+
+    def test_charge_is_noop(self):
+        clock = WallClock()
+        clock.charge(1e9)  # must not explode or jump the clock by 1e9
+        assert clock.now < 1.0
+
+    def test_reset_restarts(self):
+        clock = WallClock()
+        clock.reset()
+        assert clock.now < 1.0
+
+
+class TestBudget:
+    def test_unlimited_budget(self):
+        budget = Budget(CostClock(), None)
+        assert budget.remaining == float("inf")
+        assert not budget.exhausted
+        assert budget.affords(1e18)
+
+    def test_spending_tracks_clock(self):
+        clock = CostClock()
+        clock.charge(100)  # spent before the budget opens: not counted
+        budget = Budget(clock, 50)
+        clock.charge(30)
+        assert budget.spent == 30
+        assert budget.remaining == 20
+
+    def test_exhaustion(self):
+        clock = CostClock()
+        budget = Budget(clock, 10)
+        clock.charge(10)
+        assert budget.exhausted
+        assert budget.remaining == 0.0
+
+    def test_affords(self):
+        clock = CostClock()
+        budget = Budget(clock, 10)
+        assert budget.affords(10)
+        assert not budget.affords(11)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Budget(CostClock(), -1)
+
+    def test_zero_limit_is_immediately_exhausted(self):
+        assert Budget(CostClock(), 0).exhausted

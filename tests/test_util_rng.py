@@ -1,0 +1,55 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        gen = ensure_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="expected None, int"):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_types(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rngs(5, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        first = [g.random(3) for g in spawn_rngs(9, 2)]
+        second = [g.random(3) for g in spawn_rngs(9, 2)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(1, -1)

@@ -1,0 +1,59 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_fraction,
+    require_in_range,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(value, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds_inclusive(self):
+        require_in_range(0, 0, 1, "x")
+        require_in_range(1, 0, 1, "x")
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"x must be in \[0, 1\]"):
+            require_in_range(1.5, 0, 1, "x")
+
+
+class TestRequireFraction:
+    def test_accepts_probability(self):
+        require_fraction(0.5, "p")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            require_fraction(1.01, "p")
+
+
+class TestRequireType:
+    def test_accepts_match(self):
+        require_type(3, int, "n")
+        require_type(3.0, (int, float), "n")
+
+    def test_rejects_mismatch_naming_parameter(self):
+        with pytest.raises(TypeError, match="n must be int"):
+            require_type("3", int, "n")

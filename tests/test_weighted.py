@@ -1,0 +1,96 @@
+"""Tests for the Efraimidis–Spirakis weighted reservoir baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.weighted import WeightedReservoir
+
+
+class TestBasics:
+    def test_capacity_respected(self, rng):
+        w = WeightedReservoir(50, rng=0)
+        w.offer_batch(np.arange(1000), rng.uniform(0.1, 1, 1000))
+        assert w.size == len(w) == 50
+
+    def test_fewer_items_than_capacity(self):
+        w = WeightedReservoir(50, rng=0)
+        w.offer_batch(np.arange(10), np.ones(10))
+        assert w.size == 10
+
+    def test_zero_weight_items_never_kept(self):
+        w = WeightedReservoir(100, rng=1)
+        weights = np.zeros(1000)
+        weights[500:] = 1.0
+        w.offer_batch(np.arange(1000), weights)
+        assert (w.row_ids >= 500).all()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SamplingError, match="positive"):
+            WeightedReservoir(0)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(SamplingError, match="align"):
+            WeightedReservoir(5).offer_batch(np.arange(3), np.ones(2))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(SamplingError, match="non-negative"):
+            WeightedReservoir(5).offer_batch(np.arange(2), np.array([1.0, -1.0]))
+
+
+class TestWeighting:
+    def test_heavy_items_overrepresented(self):
+        w = WeightedReservoir(500, rng=2)
+        ids = np.arange(10_000)
+        weights = np.where(ids < 1000, 20.0, 1.0)
+        for chunk in np.array_split(ids, 10):
+            w.offer_batch(chunk, weights[chunk])
+        heavy_fraction = (w.row_ids < 1000).mean()
+        assert heavy_fraction > 0.4  # population share is 0.1
+
+    def test_equal_weights_approach_uniform(self):
+        w = WeightedReservoir(1000, rng=3)
+        n = 50_000
+        for chunk in np.array_split(np.arange(n), 10):
+            w.offer_batch(chunk, np.ones(chunk.shape[0]))
+        se = n / np.sqrt(12 * 1000)
+        assert abs(w.row_ids.mean() - n / 2) < 4 * se
+
+    def test_streaming_order_invariance_in_distribution(self):
+        """Offering heavy items first or last should not change their
+        expected share (A-Res is order-independent in distribution)."""
+        shares = []
+        for order in ("first", "last"):
+            fractions = []
+            for seed in range(15):
+                w = WeightedReservoir(200, rng=seed)
+                ids = np.arange(5000)
+                weights = np.where(ids < 500, 10.0, 1.0)
+                sequence = ids if order == "first" else ids[::-1]
+                w.offer_batch(sequence, weights[sequence])
+                fractions.append((w.row_ids < 500).mean())
+            shares.append(np.mean(fractions))
+        assert shares[0] == pytest.approx(shares[1], abs=0.05)
+
+
+class TestInclusionApproximation:
+    def test_pis_valid_probabilities(self, rng):
+        w = WeightedReservoir(100, rng=4)
+        w.offer_batch(np.arange(5000), rng.uniform(0.1, 5, 5000))
+        pis = w.inclusion_probabilities()
+        assert pis.shape[0] == 100
+        assert (pis > 0).all() and (pis <= 1).all()
+
+    def test_pi_scales_with_weight(self):
+        w = WeightedReservoir(100, rng=5)
+        ids = np.arange(10_000)
+        weights = np.where(ids % 2 == 0, 4.0, 1.0)
+        w.offer_batch(ids, weights)
+        pis = w.inclusion_probabilities()
+        kept_weights = w.weights
+        heavy = pis[kept_weights == 4.0].mean()
+        light = pis[kept_weights == 1.0].mean()
+        assert heavy == pytest.approx(4 * light, rel=1e-6)
+
+    def test_empty_reservoir(self):
+        assert WeightedReservoir(5).inclusion_probabilities().shape == (0,)

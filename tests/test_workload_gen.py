@@ -1,0 +1,93 @@
+"""Tests for the focal-point workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.expressions import RadialPredicate
+from repro.skyserver.workload_gen import (
+    DEFAULT_FOCAL_POINTS,
+    FocalPoint,
+    WorkloadGenerator,
+)
+
+
+class TestFocalPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FocalPoint(150, 10, spread_ra=0)
+        with pytest.raises(ValueError):
+            FocalPoint(150, 10, weight=0)
+
+
+class TestQueryStream:
+    def test_counts(self):
+        wg = WorkloadGenerator(rng=0)
+        queries = list(wg.queries(25))
+        assert len(queries) == 25
+        assert wg.queries_generated == 25
+
+    def test_cone_fraction_respected(self):
+        wg = WorkloadGenerator(cone_fraction=1.0, rng=1)
+        for query in wg.queries(30):
+            assert isinstance(query.predicate, RadialPredicate)
+
+    def test_non_cone_queries_exist(self):
+        wg = WorkloadGenerator(cone_fraction=0.0, rng=2)
+        kinds = {type(q.predicate).__name__ for q in wg.queries(30)}
+        assert kinds == {"Between"}
+
+    def test_aggregate_fraction_extremes(self):
+        all_agg = WorkloadGenerator(aggregate_fraction=1.0, cone_fraction=1.0, rng=3)
+        assert all(q.is_aggregate for q in all_agg.queries(20))
+        no_agg = WorkloadGenerator(aggregate_fraction=0.0, cone_fraction=1.0, rng=4)
+        assert not any(q.is_aggregate for q in no_agg.queries(20))
+
+    def test_cone_centres_cluster_at_focal_points(self):
+        wg = WorkloadGenerator(cone_fraction=1.0, rng=5)
+        ps = wg.predicate_set(300)
+        ra = ps["ra"]
+        close_to_focals = np.zeros(ra.shape[0], dtype=bool)
+        for fp in DEFAULT_FOCAL_POINTS:
+            close_to_focals |= np.abs(ra - fp.ra) < 3 * fp.spread_ra
+        assert close_to_focals.mean() > 0.95
+
+    def test_weights_steer_focal_choice(self):
+        heavy_first = WorkloadGenerator(
+            focal_points=(
+                FocalPoint(150, 10, weight=9.0),
+                FocalPoint(205, 40, weight=1.0),
+            ),
+            cone_fraction=1.0,
+            rng=6,
+        )
+        ra = heavy_first.predicate_set(200)["ra"]
+        near_first = (np.abs(ra - 150) < 20).mean()
+        assert near_first > 0.75
+
+
+class TestShift:
+    def test_shift_moves_the_predicate_set(self):
+        wg = WorkloadGenerator(cone_fraction=1.0, rng=7)
+        before = wg.predicate_set(200)["ra"]
+        wg.shift([FocalPoint(230, 55, spread_ra=2, spread_dec=2)])
+        after = wg.predicate_set(200)["ra"]
+        assert abs(np.mean(after) - 230) < 10
+        assert abs(np.mean(before) - np.mean(after)) > 20
+
+    def test_shift_requires_focal_points(self):
+        wg = WorkloadGenerator(rng=8)
+        with pytest.raises(ValueError, match="at least one"):
+            wg.shift([])
+
+
+class TestPredicateSet:
+    def test_only_requested_attributes(self):
+        wg = WorkloadGenerator(rng=9)
+        ps = wg.predicate_set(100, attributes=("ra",))
+        assert set(ps) == {"ra"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one focal"):
+            WorkloadGenerator(focal_points=())
+        with pytest.raises(ValueError, match="cone_fraction"):
+            WorkloadGenerator(cone_fraction=1.5)

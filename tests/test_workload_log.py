@@ -1,0 +1,72 @@
+"""Tests for the query log."""
+
+import pytest
+
+from repro.columnstore.expressions import Between
+from repro.columnstore.query import Query
+from repro.workload.log import QueryLog
+
+
+def make_query(lo: float) -> Query:
+    return Query(table="t", predicate=Between("x", lo, lo + 1))
+
+
+class TestRecording:
+    def test_sequence_numbers_monotone(self):
+        log = QueryLog()
+        entries = [log.record(make_query(i)) for i in range(5)]
+        assert [e.sequence for e in entries] == list(range(5))
+        assert len(log) == log.total_recorded == 5
+
+    def test_iteration_order(self):
+        log = QueryLog()
+        for i in range(3):
+            log.record(make_query(i))
+        assert [e.sequence for e in log] == [0, 1, 2]
+
+    def test_fingerprint_exposed(self):
+        log = QueryLog()
+        entry = log.record(make_query(1))
+        assert entry.fingerprint == make_query(1).fingerprint()
+
+
+class TestWindowing:
+    def test_max_entries_truncates_oldest(self):
+        log = QueryLog(max_entries=3)
+        for i in range(6):
+            log.record(make_query(i))
+        assert len(log) == 3
+        assert [e.sequence for e in log] == [3, 4, 5]
+        assert log.total_recorded == 6
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError, match="positive"):
+            QueryLog(max_entries=0)
+
+
+class TestQueries:
+    def test_tail(self):
+        log = QueryLog()
+        for i in range(5):
+            log.record(make_query(i))
+        assert [e.sequence for e in log.tail(2)] == [3, 4]
+        assert log.tail(0) == ()
+
+    def test_tail_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QueryLog().tail(-1)
+
+    def test_since(self):
+        log = QueryLog()
+        for i in range(5):
+            log.record(make_query(i))
+        assert [e.sequence for e in log.since(3)] == [3, 4]
+
+    def test_most_common_fingerprints(self):
+        log = QueryLog()
+        for _ in range(3):
+            log.record(make_query(1))
+        log.record(make_query(2))
+        (top_fp, top_count), *_ = log.most_common_fingerprints(2)
+        assert top_count == 3
+        assert top_fp == make_query(1).fingerprint()
