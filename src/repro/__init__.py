@@ -65,6 +65,8 @@ from repro.core import (
     LastSeenPolicy,
     QualityContract,
     SciBorq,
+    SciBorqServer,
+    Session,
     UniformPolicy,
     build_hierarchy,
 )
@@ -102,6 +104,8 @@ __all__ = [
     "LastSeenPolicy",
     "QualityContract",
     "SciBorq",
+    "SciBorqServer",
+    "Session",
     "UniformPolicy",
     "build_hierarchy",
     "BudgetExceededError",

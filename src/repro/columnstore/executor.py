@@ -5,6 +5,14 @@ optional ``fact_table`` override, so the *same* Query object can run
 against the base table or against any impression of it.  That is the
 hook SciBORQ's bounded query processor uses to escalate between layers
 mid-session (paper §3.2).
+
+Cost accounting is per-execution: every ``execute`` call runs under an
+:class:`~repro.util.clock.ExecutionContext` (opening a fresh one when
+the caller did not supply one), and all operator charges go to that
+context.  The executor's own clock is only an *observer* — it
+aggregates total spend across executions but is never consulted for
+budget decisions, so concurrent queries cannot corrupt each other's
+accounting.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from repro.columnstore.query import Query
 from repro.columnstore.recycler import Recycler
 from repro.columnstore.table import Table
 from repro.errors import QueryError
-from repro.util.clock import CostClock, WallClock
+from repro.util.clock import CostClock, ExecutionContext, WallClock
 
 
 @dataclass
@@ -32,6 +40,10 @@ class ExecutionStats:
     source_rows: int
     operators: List[OperatorStats] = field(default_factory=list)
     recycled: bool = False
+    #: What this execution's context metered during the call: tuple
+    #: units under a CostClock, elapsed seconds under a WallClock
+    #: (where recycled lookups still take — and bill — real time).
+    charged: float = 0.0
 
     @property
     def total_cost(self) -> int:
@@ -89,14 +101,15 @@ class QueryResult:
 
 
 class Executor:
-    """Executes queries against a catalog, charging a cost clock.
+    """Executes queries against a catalog, charging per-execution contexts.
 
     Parameters
     ----------
     catalog:
         Where fact and dimension tables are resolved.
     clock:
-        Cost clock charged one unit per tuple touched.  Defaults to a
+        Aggregate observer clock: every execution context opened by
+        this executor forwards its charges here.  Defaults to a
         private :class:`CostClock`.
     recycler:
         Optional intermediate-result cache consulted for selections.
@@ -112,32 +125,49 @@ class Executor:
         self.clock = clock if clock is not None else CostClock()
         self.recycler = recycler
 
+    def new_context(self, limit: Optional[float] = None) -> ExecutionContext:
+        """Open a fresh per-execution context observed by our clock."""
+        return ExecutionContext(clock=self.clock, limit=limit)
+
     # ------------------------------------------------------------------
     def execute(
         self,
         query: Query,
         fact_table: Optional[Table] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> QueryResult:
         """Run ``query``; ``fact_table`` overrides catalog resolution.
 
         The override is how impressions are queried: the query still
         *names* the base table, but the rows come from the sample.
+        ``context`` carries this execution's cost meter; when absent a
+        fresh unbounded context is opened (its charges still aggregate
+        to :attr:`clock`).
         """
-        if self.catalog.has_view(query.table):
-            query = _expand_view(self.catalog, query)
+        query = expand_view(self.catalog, query)
+        if context is None:
+            context = self.new_context()
         source = fact_table if fact_table is not None else self.catalog.table(query.table)
         stats = ExecutionStats(source=source.name, source_rows=source.num_rows)
+        spent_before = context.spent
 
-        working = self._apply_selection(query, source, stats)
-        working = self._apply_joins(query, working, stats)
+        working = self._apply_selection(query, source, stats, context)
+        working = self._apply_joins(query, working, stats, context)
 
         if query.is_aggregate:
-            return self._finish_aggregate(query, working, stats)
-        return self._finish_rows(query, working, stats)
+            result = self._finish_aggregate(query, working, stats, context)
+        else:
+            result = self._finish_rows(query, working, stats, context)
+        stats.charged = context.spent - spent_before
+        return result
 
     # ------------------------------------------------------------------
     def _apply_selection(
-        self, query: Query, source: Table, stats: ExecutionStats
+        self,
+        query: Query,
+        source: Table,
+        stats: ExecutionStats,
+        context: ExecutionContext,
     ) -> Table:
         indices: Optional[np.ndarray] = None
         if self.recycler is not None:
@@ -147,21 +177,25 @@ class Executor:
                 stats.add(OperatorStats("select(recycled)", 0, indices.shape[0]))
         if indices is None:
             indices, op = operators.select(source, query.predicate)
-            self.clock.charge(op.cost)
+            context.charge(op.cost)
             stats.add(op)
             if self.recycler is not None:
                 self.recycler.store(source, query.predicate, indices)
         return source.take(indices, f"{source.name}#sel")
 
     def _apply_joins(
-        self, query: Query, working: Table, stats: ExecutionStats
+        self,
+        query: Query,
+        working: Table,
+        stats: ExecutionStats,
+        context: ExecutionContext,
     ) -> Table:
         for join in query.joins:
             right = self.catalog.table(join.right_table)
             left_idx, right_idx, op = operators.equi_join(
                 working, right, join.left_on, join.right_on
             )
-            self.clock.charge(op.cost)
+            context.charge(op.cost)
             stats.add(op)
             working = operators.materialise_join(
                 working,
@@ -174,40 +208,48 @@ class Executor:
         return working
 
     def _finish_aggregate(
-        self, query: Query, working: Table, stats: ExecutionStats
+        self,
+        query: Query,
+        working: Table,
+        stats: ExecutionStats,
+        context: ExecutionContext,
     ) -> QueryResult:
         if query.group_by:
             result, op = operators.group_aggregate(
                 working, query.group_by, query.aggregates
             )
-            self.clock.charge(op.cost)
+            context.charge(op.cost)
             stats.add(op)
             if query.order_by:
                 result, op = operators.sort(
                     result, query.order_by, query.descending
                 )
-                self.clock.charge(op.cost)
+                context.charge(op.cost)
                 stats.add(op)
             if query.limit is not None:
                 result, op = operators.limit(result, query.limit)
-                self.clock.charge(op.cost)
+                context.charge(op.cost)
                 stats.add(op)
             return QueryResult(query=query, stats=stats, rows=result)
         scalars, op = operators.aggregate(working, query.aggregates)
-        self.clock.charge(op.cost)
+        context.charge(op.cost)
         stats.add(op)
         return QueryResult(query=query, stats=stats, scalars=scalars)
 
     def _finish_rows(
-        self, query: Query, working: Table, stats: ExecutionStats
+        self,
+        query: Query,
+        working: Table,
+        stats: ExecutionStats,
+        context: ExecutionContext,
     ) -> QueryResult:
         if query.order_by:
             working, op = operators.sort(working, query.order_by, query.descending)
-            self.clock.charge(op.cost)
+            context.charge(op.cost)
             stats.add(op)
         if query.limit is not None:
             working, op = operators.limit(working, query.limit)
-            self.clock.charge(op.cost)
+            context.charge(op.cost)
             stats.add(op)
         if query.select:
             missing = [n for n in query.select if not working.has_column(n)]
@@ -220,13 +262,22 @@ class Executor:
         return QueryResult(query=query, stats=stats, rows=working)
 
 
-def _expand_view(catalog: Catalog, query: Query) -> Query:
+def expand_view(catalog: Catalog, query: Query) -> Query:
     """Rewrite a query over a view into one over the view's base table.
+
+    The single view-expansion point of the query path: idempotent
+    (queries over plain tables pass through untouched), called once at
+    each entry — :meth:`Executor.execute` for direct execution,
+    :meth:`repro.core.engine.SciBorq.execute` for the bounded path
+    (which needs the base table name to pick a hierarchy before any
+    executor runs).
 
     The view's predicate is AND-ed with the query's own, and the view's
     joins are prepended — enough to model SkyServer's ``Galaxy`` view
     (a predicate plus FK joins over ``PhotoObjAll``, paper §2.1).
     """
+    if not catalog.has_view(query.table):
+        return query
     from repro.columnstore.expressions import And, TruePredicate
 
     view_query = catalog.view(query.table)

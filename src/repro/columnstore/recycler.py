@@ -14,6 +14,7 @@ entries simply stop matching (and age out by LRU).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -61,6 +62,9 @@ class Recycler:
         self._entries: "OrderedDict[_Key, np.ndarray]" = OrderedDict()
         self._bytes = 0
         self.stats = RecyclerStats()
+        # One recycler is shared by every session of a server; lookups
+        # mutate LRU order and stats, so all access is serialised.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _key(self, table: Table, predicate: Expression) -> _Key:
@@ -72,13 +76,24 @@ class Recycler:
         A hit refreshes the entry's LRU position.
         """
         key = self._key(table, predicate)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, table: Table, predicate: Expression) -> Optional[np.ndarray]:
+        """Read a cached entry without touching stats or LRU order.
+
+        Internal plumbing (e.g. feeding the ICICLES reservoir the rows
+        a query just touched) uses this so bookkeeping reflects only
+        real query traffic.
+        """
+        with self._lock:
+            return self._entries.get(self._key(table, predicate))
 
     def store(self, table: Table, predicate: Expression, indices: np.ndarray) -> None:
         """Cache selection indices, evicting LRU entries to fit."""
@@ -86,16 +101,20 @@ class Recycler:
         if indices.nbytes > self.capacity_bytes:
             return  # would evict everything and still not fit
         key = self._key(table, predicate)
-        if key in self._entries:
-            self._bytes -= self._entries[key].nbytes
-            del self._entries[key]
-        while self._bytes + indices.nbytes > self.capacity_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
-            self.stats.evictions += 1
-        self._entries[key] = indices
-        self._bytes += indices.nbytes
-        self.stats.stored += 1
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= self._entries[key].nbytes
+                del self._entries[key]
+            while (
+                self._bytes + indices.nbytes > self.capacity_bytes
+                and self._entries
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.stats.evictions += 1
+            self._entries[key] = indices
+            self._bytes += indices.nbytes
+            self.stats.stored += 1
 
     # ------------------------------------------------------------------
     @property
@@ -108,5 +127,6 @@ class Recycler:
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

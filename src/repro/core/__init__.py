@@ -17,6 +17,10 @@
 * :mod:`repro.core.maintenance` — refresh layers from the layer
   below, decay interest, react to drift.
 * :mod:`repro.core.engine` — :class:`SciBorq`, the one-stop facade.
+* :mod:`repro.core.server` / :mod:`repro.core.session` — the
+  concurrent multi-session layer: one shared engine behind a
+  readers-writer lock, per-user sessions with isolated cost
+  accounting and default contracts.
 """
 
 from repro.core.impression import Impression
@@ -36,6 +40,8 @@ from repro.core.bounded import (
     BoundedQueryProcessor,
 )
 from repro.core.engine import SciBorq
+from repro.core.session import Session, SessionStats
+from repro.core.server import SciBorqServer
 from repro.core.persistence import (
     load_hierarchy,
     read_snapshot_metadata,
@@ -60,4 +66,7 @@ __all__ = [
     "ExecutionAttempt",
     "BoundedQueryProcessor",
     "SciBorq",
+    "SciBorqServer",
+    "Session",
+    "SessionStats",
 ]

@@ -23,6 +23,7 @@ answer it could afford, flagging ``met_quality``/``met_budget``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -39,7 +40,7 @@ from repro.errors import (
     QualityBoundError,
     QueryError,
 )
-from repro.util.clock import Budget, CostClock, WallClock
+from repro.util.clock import CostClock, ExecutionContext, WallClock
 
 
 @dataclass(frozen=True)
@@ -142,8 +143,9 @@ class BoundedQueryProcessor:
     hierarchy:
         The impression ladder for the fact table.
     clock:
-        Shared cost clock (one per session); budgets are opened
-        against it per query.
+        Aggregate observer clock (one per engine or session); each
+        query opens its own :class:`ExecutionContext` against it, so
+        concurrent executions never see each other's spending.
     """
 
     def __init__(
@@ -158,41 +160,58 @@ class BoundedQueryProcessor:
         self.estimator = ImpressionEstimator(catalog, clock=self.clock)
         self._base_executor = Executor(catalog, clock=self.clock)
         # wall-clock mode: tuples-per-second throughput, calibrated
-        # from observed rung executions (None until the first rung)
+        # from observed rung executions (None until the first rung);
+        # concurrent sessions share one processor, so the blend is
+        # guarded against lost updates.
         self._throughput: Optional[float] = None
+        self._throughput_lock = threading.Lock()
 
-    def _budget_units(self, predicted_cost: float) -> float:
-        """Convert a tuples-touched prediction into the clock's units.
+    def new_context(self, limit: Optional[float] = None) -> ExecutionContext:
+        """Open a per-query context observed by this processor's clock."""
+        return ExecutionContext(clock=self.clock, limit=limit)
 
-        A :class:`CostClock` charges tuples directly.  A wall clock
-        measures seconds, so the prediction is divided by the
+    def _budget_units(
+        self, predicted_cost: float, context: ExecutionContext
+    ) -> float:
+        """Convert a tuples-touched prediction into the context's units.
+
+        A cost-metered context charges tuples directly.  A wall-mode
+        context measures seconds, so the prediction is divided by the
         calibrated throughput; before any calibration every rung looks
         affordable (optimistic start, the paper's interactive bias).
         """
-        if not isinstance(self.clock, WallClock):
+        if not context.is_wall:
             return predicted_cost
         if self._throughput is None or self._throughput <= 0:
             return 0.0
         return predicted_cost / self._throughput
 
-    def _observe_throughput(self, predicted_cost: float, elapsed: float) -> None:
-        if not isinstance(self.clock, WallClock) or elapsed <= 0:
+    def _observe_throughput(
+        self, predicted_cost: float, elapsed: float, context: ExecutionContext
+    ) -> None:
+        if not context.is_wall or elapsed <= 0:
             return
         observed = predicted_cost / elapsed
-        if self._throughput is None:
-            self._throughput = observed
-        else:
-            self._throughput = 0.5 * (self._throughput + observed)
+        with self._throughput_lock:
+            if self._throughput is None:
+                self._throughput = observed
+            else:
+                self._throughput = 0.5 * (self._throughput + observed)
 
     # ------------------------------------------------------------------
     def execute(
-        self, query: Query, contract: QualityContract | None = None
+        self,
+        query: Query,
+        contract: QualityContract | None = None,
+        context: Optional[ExecutionContext] = None,
     ) -> BoundedResult:
         """Answer ``query`` under ``contract`` (default: unconstrained).
 
         With no contract the smallest covering impression answers —
         the interactive-exploration default.  The base table is always
-        the ladder's last rung.
+        the ladder's last rung.  ``context`` is the per-execution cost
+        meter; when absent one is opened against the contract's time
+        budget, with this processor's clock as aggregate observer.
         """
         contract = contract if contract is not None else QualityContract()
         if query.table != self.hierarchy.base_table:
@@ -200,61 +219,80 @@ class BoundedQueryProcessor:
                 f"processor serves {self.hierarchy.base_table!r}, "
                 f"query targets {query.table!r}"
             )
+        if context is None:
+            context = self.new_context(contract.time_budget)
         base = self.catalog.table(query.table)
-        budget = Budget(self.clock, contract.time_budget)
+        entry_spent = context.spent
+
+        def affords(units: float) -> bool:
+            # Per-call budget view: the contract's time budget applies
+            # to *this* execution's spending even when the caller hands
+            # in a reusable (or unlimited) context, and the context's
+            # own limit still caps everything.  The caller's context is
+            # never mutated.
+            if not context.affords(units):
+                return False
+            if contract.time_budget is None:
+                return True
+            return units <= contract.time_budget - (context.spent - entry_spent)
+
         ladder: List[Optional[Impression]] = list(
             self.hierarchy.candidates_for(query, base)
         )
         ladder.append(None)  # the base table: exact, most expensive
 
-        outcome = BoundedResult(result=None)  # type: ignore[arg-type]
+        attempts: List[ExecutionAttempt] = []
         best: Optional[EstimatedResult] = None
         best_error = float("inf")
         for rung in ladder:
             cost = self._predicted_cost(query, rung, base)
-            cost_units = self._budget_units(cost)
-            if outcome.attempts and not budget.affords(cost_units):
+            cost_units = self._budget_units(cost, context)
+            if attempts and not affords(cost_units):
                 # We already have an answer and the next rung does not
                 # fit the remaining budget: stop escalating.
                 break
             if (
-                not outcome.attempts
-                and not budget.affords(cost_units)
+                not attempts
+                and not affords(cost_units)
                 and rung is not None
             ):
                 # Nothing answered yet; skip rungs that cannot fit,
                 # but never skip every rung — the smallest impression
                 # is the answer of last resort (handled below).
-                if self._has_smaller_affordable(query, base, budget, rung):
+                if self._has_smaller_affordable(
+                    query, base, context, affords, rung
+                ):
                     continue
-            spent_before = budget.spent
+            spent_before = context.spent
             try:
-                result = self._run_rung(query, rung, contract.confidence, base)
+                result = self._run_rung(
+                    query, rung, contract.confidence, base, context
+                )
             except EstimationError:
                 # the rung's sample holds no tuple this query needs
                 # (e.g. AVG over a region the tiny layer missed):
                 # record an unanswerable attempt and escalate.
-                outcome.attempts.append(
+                attempts.append(
                     ExecutionAttempt(
                         source=base.name if rung is None else rung.name,
                         rows=base.num_rows if rung is None else rung.size,
-                        cost=budget.spent - spent_before,
+                        cost=context.spent - spent_before,
                         relative_error=float("inf"),
                         satisfied=False,
                     )
                 )
                 continue
             attempt_error = result.worst_relative_error
-            self._observe_throughput(cost, budget.spent - spent_before)
+            self._observe_throughput(cost, context.spent - spent_before, context)
             satisfied = (
                 contract.max_relative_error is None
                 or attempt_error <= contract.max_relative_error
             )
-            outcome.attempts.append(
+            attempts.append(
                 ExecutionAttempt(
                     source=result.source,
                     rows=base.num_rows if rung is None else rung.size,
-                    cost=budget.spent - spent_before,
+                    cost=context.spent - spent_before,
                     relative_error=attempt_error,
                     satisfied=satisfied,
                 )
@@ -268,33 +306,38 @@ class BoundedQueryProcessor:
             # every affordable rung was unanswerable (e.g. AVG over a
             # region no sample covers, budget blocking the base): the
             # base table is the answer of last resort.
-            spent_before = budget.spent
-            best = self._run_rung(query, None, contract.confidence, base)
+            spent_before = context.spent
+            best = self._run_rung(query, None, contract.confidence, base, context)
             best_error = best.worst_relative_error
-            outcome.attempts.append(
+            attempts.append(
                 ExecutionAttempt(
                     source=base.name,
                     rows=base.num_rows,
-                    cost=budget.spent - spent_before,
+                    cost=context.spent - spent_before,
                     relative_error=best_error,
                     satisfied=contract.max_relative_error is None
                     or best_error <= contract.max_relative_error,
                 )
             )
-        outcome.result = best
-        outcome.total_cost = budget.spent
-        outcome.met_quality = (
+        call_spent = context.spent - entry_spent
+        met_quality = (
             contract.max_relative_error is None
             or best_error <= contract.max_relative_error
         )
-        outcome.met_budget = (
-            contract.time_budget is None or budget.spent <= contract.time_budget
+        met_budget = (
+            contract.time_budget is None or call_spent <= contract.time_budget
         )
-        if contract.strict and not outcome.met_quality:
+        if contract.strict and not met_quality:
             raise QualityBoundError(contract.max_relative_error, best_error)
-        if contract.strict and not outcome.met_budget:
-            raise BudgetExceededError(contract.time_budget, budget.spent)
-        return outcome
+        if contract.strict and not met_budget:
+            raise BudgetExceededError(contract.time_budget, call_spent)
+        return BoundedResult(
+            result=best,
+            attempts=attempts,
+            met_quality=met_quality,
+            met_budget=met_budget,
+            total_cost=call_spent,
+        )
 
     # ------------------------------------------------------------------
     def _predicted_cost(
@@ -306,11 +349,18 @@ class BoundedQueryProcessor:
         return estimate_cost(query, self.catalog, fact_table=fact).total_cost
 
     def _has_smaller_affordable(
-        self, query: Query, base, budget: Budget, current: Impression
+        self,
+        query: Query,
+        base,
+        context: ExecutionContext,
+        affords,
+        current: Impression,
     ) -> bool:
         for impression in self.hierarchy.candidates_for(query, base):
-            if impression.size < current.size and budget.affords(
-                self._budget_units(self._predicted_cost(query, impression, base))
+            if impression.size < current.size and affords(
+                self._budget_units(
+                    self._predicted_cost(query, impression, base), context
+                )
             ):
                 return True
         return False
@@ -321,10 +371,11 @@ class BoundedQueryProcessor:
         rung: Optional[Impression],
         confidence: float,
         base,
+        context: ExecutionContext,
     ) -> EstimatedResult:
         if rung is not None:
-            return self.estimator.estimate(query, rung, confidence)
-        exact = self._base_executor.execute(query)
+            return self.estimator.estimate(query, rung, confidence, context)
+        exact = self._base_executor.execute(query, context=context)
         if query.is_aggregate and not query.group_by:
             estimates = {
                 name: _exact_estimate(value, confidence, base.num_rows)

@@ -23,12 +23,13 @@ bounded query execution.  The typical session:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.columnstore.catalog import Catalog
-from repro.columnstore.executor import Executor
+from repro.columnstore.executor import Executor, expand_view
 from repro.columnstore.loader import Loader
 from repro.columnstore.query import Query
 from repro.columnstore.recycler import Recycler
@@ -56,7 +57,7 @@ from repro.errors import ImpressionError, QueryError
 from repro.sampling.extrema import ExtremaReservoir
 from repro.sampling.icicles import SelfTuningReservoir
 from repro.stats.estimators import Estimate
-from repro.util.clock import CostClock, WallClock
+from repro.util.clock import CostClock, ExecutionContext, WallClock
 from repro.util.rng import RandomSource, ensure_rng
 from repro.workload.drift import DriftDetector
 from repro.workload.interest import InterestModel
@@ -127,6 +128,10 @@ class SciBorq:
         self._base_executor = Executor(
             catalog, clock=self.clock, recycler=self.recycler
         )
+        # Serialises workload bookkeeping (query log, predicate
+        # collector, interest, drift) so concurrent sessions can share
+        # one engine; the server layer relies on this.
+        self._workload_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # hierarchy management
@@ -317,6 +322,7 @@ class SciBorq:
         confidence: float = 0.95,
         strict: bool = False,
         hierarchy: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> BoundedResult:
         """Answer a query under runtime/quality bounds.
 
@@ -324,14 +330,15 @@ class SciBorq:
         is logged, its predicates extend the predicate set (steering
         future biased sampling), and the drift detectors see the new
         values.  ``hierarchy`` selects a named hierarchy; the table's
-        default is used otherwise.
+        default is used otherwise.  ``context`` carries a caller-owned
+        per-execution cost meter (the server layer passes one wired to
+        the session's aggregate clock); when absent the processor
+        opens its own against ``time_budget``.
         """
-        if self.catalog.has_view(query.table):
-            from repro.columnstore.executor import _expand_view
-
-            query = _expand_view(self.catalog, query)
-        self.query_log.record(query)
-        self.collector.observe(query)
+        query = expand_view(self.catalog, query)
+        with self._workload_lock:
+            self.query_log.record(query)
+            self.collector.observe(query)
         if query.table not in self._processors or not self._processors[query.table]:
             raise QueryError(
                 f"no hierarchy for table {query.table!r}; create one or "
@@ -344,24 +351,26 @@ class SciBorq:
             confidence=confidence,
             strict=strict,
         )
-        outcome = processor.execute(query, contract)
+        outcome = processor.execute(query, contract, context=context)
         self._apply_extrema(query, outcome)
         return outcome
 
-    def execute_exact(self, query: Query):
+    def execute_exact(self, query: Query, context: Optional[ExecutionContext] = None):
         """Run a query on the base data, bypassing impressions.
 
         If result recycling is enabled for the table, the rows this
         query touched are re-offered to the self-tuning sample (the
         ICICLES side-effect, paper §5).
         """
-        self.query_log.record(query)
-        self.collector.observe(query)
-        result = self._base_executor.execute(query)
+        query = expand_view(self.catalog, query)
+        with self._workload_lock:
+            self.query_log.record(query)
+            self.collector.observe(query)
+        result = self._base_executor.execute(query, context=context)
         reservoir = self._self_tuning.get(query.table)
         if reservoir is not None and self.recycler is not None:
             base = self.catalog.table(query.table)
-            touched = self.recycler.lookup(base, query.predicate)
+            touched = self.recycler.peek(base, query.predicate)
             if touched is not None:
                 reservoir.offer_results(touched)
         return result

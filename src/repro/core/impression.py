@@ -18,6 +18,7 @@ any operator output.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Protocol, Sequence
 
 import numpy as np
@@ -86,6 +87,9 @@ class Impression:
         self._cached: Optional[Table] = None
         self._cache_key: Optional[tuple] = None
         self._pi_override: Optional[np.ndarray] = None
+        # Concurrent readers (server sessions) may race to materialise;
+        # the lock makes the cache fill exactly once per version.
+        self._materialise_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # statistical metadata
@@ -168,22 +172,27 @@ class Impression:
         shift nothing — row ids are stable — but a regrown column's
         buffers may move) and the sampler's progress.
         """
-        key = (base.version, self.sampler.seen, self.size)
-        if self._cached is not None and self._cache_key == key:
-            return self._cached
-        row_ids = self.row_ids
-        if row_ids.size and row_ids.max() >= base.num_rows:
-            raise ImpressionError(
-                f"impression {self.name!r} references row "
-                f"{int(row_ids.max())} beyond base table "
-                f"{base.name!r} ({base.num_rows} rows)"
+        with self._materialise_lock:
+            key = (base.version, self.sampler.seen, self.size)
+            if self._cached is not None and self._cache_key == key:
+                return self._cached
+            row_ids = self.row_ids
+            if row_ids.size and row_ids.max() >= base.num_rows:
+                raise ImpressionError(
+                    f"impression {self.name!r} references row "
+                    f"{int(row_ids.max())} beyond base table "
+                    f"{base.name!r} ({base.num_rows} rows)"
+                )
+            names = (
+                list(self.columns) if self.columns is not None else base.column_names
             )
-        names = list(self.columns) if self.columns is not None else base.column_names
-        columns = [base.column(n).take(row_ids) for n in names]
-        columns.append(Column(PI_COLUMN, np.float64, self.inclusion_probabilities()))
-        self._cached = Table(f"{base.name}§{self.name}", columns)
-        self._cache_key = key
-        return self._cached
+            columns = [base.column(n).take(row_ids) for n in names]
+            columns.append(
+                Column(PI_COLUMN, np.float64, self.inclusion_probabilities())
+            )
+            self._cached = Table(f"{base.name}§{self.name}", columns)
+            self._cache_key = key
+            return self._cached
 
     def _invalidate(self) -> None:
         self._cached = None

@@ -32,7 +32,11 @@ from repro.core.hierarchy import ImpressionHierarchy
 from repro.core.impression import Impression
 from repro.errors import ImpressionError
 from repro.sampling.biased import BiasedReservoir
-from repro.util.clock import CostClock, WallClock
+from repro.util.clock import CostClock, ExecutionContext, WallClock
+
+#: Anything maintenance can charge its streaming cost to — a session
+#: clock or a writer's execution context.
+ChargeTarget = CostClock | WallClock | ExecutionContext
 from repro.workload.drift import DriftDetector
 from repro.workload.interest import InterestModel
 
@@ -51,7 +55,7 @@ def refresh_from_below(
     upper: Impression,
     lower: Impression,
     base: Table,
-    clock: Optional[CostClock | WallClock] = None,
+    clock: Optional[ChargeTarget] = None,
 ) -> RefreshReport:
     """Rebuild ``upper`` by re-streaming ``lower``'s current contents.
 
@@ -131,7 +135,7 @@ def _column_batch(
 def refresh_hierarchy(
     hierarchy: ImpressionHierarchy,
     base: Table,
-    clock: Optional[CostClock | WallClock] = None,
+    clock: Optional[ChargeTarget] = None,
 ) -> List[RefreshReport]:
     """Refresh every layer from the layer below it, top-down.
 
@@ -149,7 +153,7 @@ def refresh_hierarchy(
 def rebuild_from_base(
     hierarchy: ImpressionHierarchy,
     base: Table,
-    clock: Optional[CostClock | WallClock] = None,
+    clock: Optional[ChargeTarget] = None,
     batch_size: int = 50_000,
 ) -> List[RefreshReport]:
     """Rebuild every layer by re-streaming the whole base table.
@@ -251,7 +255,7 @@ class MaintenancePlanner:
         self,
         hierarchy: ImpressionHierarchy,
         base: Table,
-        clock: Optional[CostClock | WallClock] = None,
+        clock: Optional[ChargeTarget] = None,
     ) -> Optional[List[RefreshReport]]:
         """If drift fired, decay interest and refresh the hierarchy.
 

@@ -43,7 +43,7 @@ from repro.stats.estimators import (
     srs_mean,
     srs_sum,
 )
-from repro.util.clock import CostClock, WallClock
+from repro.util.clock import CostClock, ExecutionContext, WallClock
 
 
 @dataclass
@@ -113,7 +113,9 @@ class ImpressionEstimator:
         join-synopsis design, so FK joins over an impression are
         lossless).
     clock:
-        Cost clock shared with the rest of the system.
+        Aggregate observer clock shared with the rest of the system;
+        per-query accounting happens in the execution context passed
+        to :meth:`estimate`.
     confidence:
         Default confidence level for all intervals.
     """
@@ -135,8 +137,13 @@ class ImpressionEstimator:
         query: Query,
         impression: Impression,
         confidence: Optional[float] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> EstimatedResult:
-        """Answer ``query`` from ``impression`` with error bounds."""
+        """Answer ``query`` from ``impression`` with error bounds.
+
+        ``context`` is the per-execution cost meter; all operator
+        charges of the sample scan go there.
+        """
         confidence = confidence if confidence is not None else self.confidence
         base = self.catalog.table(query.table)
         imp_table = impression.materialise(base)
@@ -148,7 +155,9 @@ class ImpressionEstimator:
             predicate=query.predicate,
             joins=query.joins,
         )
-        worked = self._executor.execute(working_query, fact_table=imp_table)
+        worked = self._executor.execute(
+            working_query, fact_table=imp_table, context=context
+        )
         working = worked.rows
         assert working is not None
         stats = worked.stats

@@ -1,0 +1,313 @@
+"""The multi-session server: one shared engine, many concurrent users.
+
+SciBORQ's bounds are per-query promises made to *people* — SkyServer
+answers "scientists, students and interested laymen" simultaneously
+(paper §2.1), and systems like LifeRaft explicitly schedule across
+concurrent users' query streams.  :class:`SciBorqServer` is that
+serving layer for the reproduction:
+
+* **Shared state, guarded.**  The catalog, impression hierarchies,
+  interest model, and recycler live in one :class:`~repro.core.engine.
+  SciBorq` engine.  Queries only read them; ingest and maintenance
+  rewrite them.  A writer-preferring readers-writer lock
+  (:class:`~repro.util.concurrency.ReadWriteLock`) lets any number of
+  queries run at once while giving loads and drift reactions exclusive
+  access.
+* **Isolated accounting.**  Every query runs in its own
+  :class:`~repro.util.clock.ExecutionContext`; the engine's global
+  clock and the owning session's clock are enrolled as observers.
+  ``engine.clock.now`` therefore equals the sum of all sessions'
+  spending, while each query's ``total_cost`` is exactly its own
+  tuples touched — no cross-session leakage, by construction.
+* **Batched submission.**  :meth:`execute_many` (and
+  :meth:`Session.execute_many <repro.core.session.Session.execute_many>`)
+  fan a batch out over a thread pool; NumPy releases the GIL inside
+  the scan kernels, so concurrent sessions overlap on real cores.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnstore.query import Query
+from repro.core.bounded import BoundedResult, QualityContract
+from repro.core.engine import SciBorq
+from repro.core.maintenance import RefreshReport
+from repro.core.session import Session
+from repro.errors import SessionError
+from repro.util.clock import ExecutionContext
+from repro.util.concurrency import ReadWriteLock
+
+#: A unit of pool work: (session, query, contract, hierarchy name).
+_Job = Tuple[Session, Query, QualityContract, Optional[str]]
+
+
+class SciBorqServer:
+    """Serves bounded queries from many sessions over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine.  The server takes over coordination: all
+        ingest/maintenance should go through the server once it is
+        constructed.
+    max_workers:
+        Thread-pool width for :meth:`execute_many`; defaults to the
+        machine's core count (capped at 8 — scans are memory-bound
+        well before that).
+    """
+
+    def __init__(
+        self, engine: SciBorq, max_workers: Optional[int] = None
+    ) -> None:
+        self.engine = engine
+        if max_workers is None:
+            max_workers = max(1, min(8, os.cpu_count() or 1))
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._rwlock = ReadWriteLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sciborq"
+        )
+        self._sessions: Dict[int, Session] = {}
+        self._admin_lock = threading.Lock()
+        self._next_session_id = 0
+        self._queries_served = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        name: Optional[str] = None,
+        max_relative_error: Optional[float] = None,
+        time_budget: Optional[float] = None,
+        confidence: float = 0.95,
+        strict: bool = False,
+    ) -> Session:
+        """Open a new session with its own default quality contract."""
+        self._require_open()
+        with self._admin_lock:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            session = Session(
+                self,
+                session_id,
+                name=name,
+                max_relative_error=max_relative_error,
+                time_budget=time_budget,
+                confidence=confidence,
+                strict=strict,
+            )
+            self._sessions[session_id] = session
+            return session
+
+    def close_session(self, session: Session) -> None:
+        """Close one session (idempotent)."""
+        session.close()
+
+    def _forget_session(self, session: Session) -> None:
+        with self._admin_lock:
+            self._sessions.pop(session.session_id, None)
+
+    @property
+    def sessions(self) -> List[Session]:
+        """Currently open sessions."""
+        with self._admin_lock:
+            return list(self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # query path (readers)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        session: Session,
+        query: Query,
+        contract: Optional[QualityContract] = None,
+        hierarchy: Optional[str] = None,
+    ) -> BoundedResult:
+        """Run one query for ``session`` under the shared read lock.
+
+        The execution context is opened here — engine clock plus the
+        session clock as observers — so the outcome's ``total_cost``
+        is exactly this query's own spending.
+        """
+        self._require_open()
+        session._require_open()
+        contract = contract if contract is not None else session.defaults
+        with self._rwlock.read_locked():
+            # opened inside the read lock so wall-mode budgets bill
+            # execution time only, not time queued behind a writer
+            context = ExecutionContext(
+                clock=self.engine.clock,
+                limit=contract.time_budget,
+                observers=(session.clock,),
+            )
+            outcome = self.engine.execute(
+                query,
+                max_relative_error=contract.max_relative_error,
+                time_budget=contract.time_budget,
+                confidence=contract.confidence,
+                strict=contract.strict,
+                hierarchy=hierarchy,
+                context=context,
+            )
+        session._record(query, outcome)
+        with self._admin_lock:
+            self._queries_served += 1
+        return outcome
+
+    def execute_many(
+        self,
+        jobs: Sequence[Tuple[Session, Query]],
+        hierarchy: Optional[str] = None,
+        return_exceptions: bool = False,
+    ) -> List[BoundedResult]:
+        """Run ``(session, query)`` pairs concurrently; results in order.
+
+        Each query runs under its session's default contract in its
+        own execution context, so budgets never bleed across the
+        batch — this is the server's multi-user entry point (one batch
+        may interleave many users' queries).
+        """
+        prepared: List[_Job] = [
+            (session, query, session.defaults, hierarchy)
+            for session, query in jobs
+        ]
+        return self.execute_jobs(prepared, return_exceptions=return_exceptions)
+
+    def execute_jobs(
+        self, jobs: Sequence[_Job], return_exceptions: bool = False
+    ) -> List[BoundedResult]:
+        """Submit fully-specified jobs to the pool; gather in order.
+
+        Every job runs to completion before anything is raised.  With
+        ``return_exceptions`` the result list carries each failed
+        job's exception in its slot (strict-contract batches routinely
+        mix successes and :class:`~repro.errors.QualityBoundError`);
+        otherwise the first failure is re-raised after the gather.
+        """
+        self._require_open()
+        futures = [
+            self._pool.submit(self.execute, session, query, contract, hierarchy)
+            for session, query, contract, hierarchy in jobs
+        ]
+        gathered: List[BoundedResult] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                gathered.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                gathered.append(exc)  # type: ignore[arg-type]
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return gathered
+
+    # ------------------------------------------------------------------
+    # data + maintenance path (writers)
+    # ------------------------------------------------------------------
+    def ingest(self, table: str, batch: Mapping[str, np.ndarray]) -> int:
+        """Append a batch under the exclusive write lock."""
+        self._require_open()
+        with self._rwlock.write_locked():
+            return self.engine.ingest(table, batch)
+
+    def maintain(self) -> Dict[str, List[RefreshReport]]:
+        """React to drift (engine-wide) under the write lock."""
+        self._require_open()
+        with self._rwlock.write_locked():
+            return self.engine.maintain()
+
+    def refresh(
+        self, table: str, hierarchy: Optional[str] = None
+    ) -> List[RefreshReport]:
+        """Refresh a table's smaller layers under the write lock."""
+        self._require_open()
+        with self._rwlock.write_locked():
+            return self.engine.refresh(table, hierarchy)
+
+    def rebuild(
+        self, table: str, hierarchy: Optional[str] = None
+    ) -> List[RefreshReport]:
+        """Rebuild a table's hierarchy from base under the write lock."""
+        self._require_open()
+        with self._rwlock.write_locked():
+            return self.engine.rebuild(table, hierarchy)
+
+    def execute_exact(self, session: Session, query: Query):
+        """Run a base-data query for ``session``.
+
+        Runs as a reader: the shared state it touches beyond the
+        catalog — the recycler and the ICICLES self-tuning reservoir —
+        is internally locked, so a full base scan must not serialise
+        every other session behind the write lock.
+        """
+        self._require_open()
+        session._require_open()
+        with self._rwlock.read_locked():
+            context = ExecutionContext(
+                clock=self.engine.clock, observers=(session.clock,)
+            )
+            result = self.engine.execute_exact(query, context=context)
+        session.query_log.record(query)
+        with self._admin_lock:
+            self._queries_served += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # lifecycle + introspection
+    # ------------------------------------------------------------------
+    @property
+    def queries_served(self) -> int:
+        """Total queries completed across all sessions."""
+        return self._queries_served
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionError("server is shut down")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Close every session and stop the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in self.sessions:
+            session.close()
+        self._pool.shutdown(wait=wait)
+
+    def summary(self) -> str:
+        """Server state overview for examples and debugging."""
+        sessions = self.sessions
+        lines = [
+            f"SciBorqServer: {len(sessions)} open session(s), "
+            f"{self._queries_served} queries served, "
+            f"pool={self.max_workers} workers",
+        ]
+        lines.extend(f"  {session!r}" for session in sessions)
+        lines.append(
+            f"  engine clock (all sessions + maintenance): "
+            f"{self.engine.clock.now:g}"
+        )
+        return "\n".join(lines)
+
+    def __enter__(self) -> "SciBorqServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "shut down" if self._closed else "open"
+        return (
+            f"SciBorqServer({state}, sessions={len(self.sessions)}, "
+            f"served={self._queries_served})"
+        )

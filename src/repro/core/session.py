@@ -1,0 +1,250 @@
+"""Per-user sessions over a shared SciBORQ server.
+
+SkyServer serves "scientists, students and interested laymen" at once
+(paper §2.1), each exploring their own region of the sky under their
+own runtime/quality demands.  A :class:`Session` is the per-user
+facade over one shared :class:`~repro.core.server.SciBorqServer`:
+
+* its **query log** records only this user's queries, so per-user
+  workload windows stay separable (the shared engine log still sees
+  everything, feeding the global interest model);
+* its **clock** aggregates only this user's spending — every query
+  runs in its own :class:`~repro.util.clock.ExecutionContext` whose
+  charges are forwarded here, so two sessions can run queries at the
+  same instant and each still reads its exact own cost;
+* its **default contract** (error bound, time budget, confidence,
+  strictness) applies to every query that does not override it —
+  "within 5 minutes" declared once per user, not per query.
+
+Sessions are deliberately light: all heavy state (catalog,
+hierarchies, interest) lives in the server's engine behind the
+readers-writer lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.columnstore.query import Query
+from repro.core.bounded import BoundedResult, QualityContract
+from repro.errors import SessionError
+from repro.util.clock import CostClock
+from repro.workload.log import QueryLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.server import SciBorqServer
+
+#: Sentinel for "use the session default" in per-query overrides, so
+#: an explicit ``None`` can still mean "unbounded for this query".
+INHERIT = object()
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """A point-in-time summary of one session's activity."""
+
+    session_id: int
+    name: str
+    queries: int
+    total_cost: float
+    quality_misses: int
+    budget_misses: int
+
+
+class Session:
+    """One user's handle on a :class:`~repro.core.server.SciBorqServer`.
+
+    Created by :meth:`SciBorqServer.open_session`, never directly.
+
+    Parameters
+    ----------
+    server:
+        The owning server; all execution is delegated to it.
+    session_id:
+        Server-unique id.
+    name:
+        Human label (defaults to ``"session-<id>"``).
+    max_relative_error / time_budget / confidence / strict:
+        The session's default quality contract, applied to every
+        query not overriding it.
+    """
+
+    def __init__(
+        self,
+        server: "SciBorqServer",
+        session_id: int,
+        name: Optional[str] = None,
+        max_relative_error: Optional[float] = None,
+        time_budget: Optional[float] = None,
+        confidence: float = 0.95,
+        strict: bool = False,
+    ) -> None:
+        self._server = server
+        self.session_id = session_id
+        self.name = name if name is not None else f"session-{session_id}"
+        self.defaults = QualityContract(
+            max_relative_error=max_relative_error,
+            time_budget=time_budget,
+            confidence=confidence,
+            strict=strict,
+        )
+        #: Aggregate observer: sums the cost of this session's queries.
+        self.clock = CostClock()
+        #: This user's queries only.
+        self.query_log = QueryLog()
+        self._history: List[BoundedResult] = []
+        self._history_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # contract plumbing
+    # ------------------------------------------------------------------
+    def contract(
+        self,
+        max_relative_error=INHERIT,
+        time_budget=INHERIT,
+        confidence=INHERIT,
+        strict=INHERIT,
+    ) -> QualityContract:
+        """The session defaults with per-query overrides applied.
+
+        Omitted fields inherit the session default; an explicit
+        ``None`` lifts a bound for this query only (e.g.
+        ``time_budget=None`` runs unbounded despite a budgeted
+        session).
+        """
+        return QualityContract(
+            max_relative_error=(
+                self.defaults.max_relative_error
+                if max_relative_error is INHERIT
+                else max_relative_error
+            ),
+            time_budget=(
+                self.defaults.time_budget
+                if time_budget is INHERIT
+                else time_budget
+            ),
+            confidence=(
+                self.defaults.confidence if confidence is INHERIT else confidence
+            ),
+            strict=self.defaults.strict if strict is INHERIT else strict,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        max_relative_error=INHERIT,
+        time_budget=INHERIT,
+        confidence=INHERIT,
+        strict=INHERIT,
+        hierarchy: Optional[str] = None,
+    ) -> BoundedResult:
+        """Run one query under this session's (overridable) contract."""
+        self._require_open()
+        contract = self.contract(
+            max_relative_error, time_budget, confidence, strict
+        )
+        return self._server.execute(self, query, contract, hierarchy=hierarchy)
+
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        max_relative_error=INHERIT,
+        time_budget=INHERIT,
+        confidence=INHERIT,
+        strict=INHERIT,
+        hierarchy: Optional[str] = None,
+        return_exceptions: bool = False,
+    ) -> List[BoundedResult]:
+        """Run a batch concurrently on the server's pool, in order.
+
+        ``time_budget`` (like every contract field) applies *per
+        query* — each submission gets its own execution context, so
+        one slow query cannot eat a sibling's budget.  With
+        ``return_exceptions`` a strict batch returns each failure in
+        its slot instead of re-raising the first after the gather.
+        """
+        self._require_open()
+        contract = self.contract(
+            max_relative_error, time_budget, confidence, strict
+        )
+        jobs = [(self, query, contract, hierarchy) for query in queries]
+        return self._server.execute_jobs(
+            jobs, return_exceptions=return_exceptions
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping (called by the server)
+    # ------------------------------------------------------------------
+    def _record(self, query: Query, outcome: BoundedResult) -> None:
+        self.query_log.record(query)
+        with self._history_lock:
+            self._history.append(outcome)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionError(
+                f"session {self.name!r} (id={self.session_id}) is closed"
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def total_cost(self) -> float:
+        """Cost units spent by this session's queries alone."""
+        return self.clock.now
+
+    @property
+    def history(self) -> List[BoundedResult]:
+        """Outcomes of this session's queries, in completion order."""
+        with self._history_lock:
+            return list(self._history)
+
+    def stats(self) -> SessionStats:
+        """Current activity summary.
+
+        ``queries`` counts everything logged (bounded and exact);
+        the miss counters cover bounded outcomes, the only kind that
+        carries met/missed flags.
+        """
+        with self._history_lock:
+            history = list(self._history)
+        return SessionStats(
+            session_id=self.session_id,
+            name=self.name,
+            queries=len(self.query_log),
+            total_cost=self.clock.now,
+            quality_misses=sum(1 for r in history if not r.met_quality),
+            budget_misses=sum(1 for r in history if not r.met_budget),
+        )
+
+    def close(self) -> None:
+        """Detach from the server; further execution raises."""
+        if not self._closed:
+            self._closed = True
+            self._server._forget_session(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({self.name!r}, id={self.session_id}, {state}, "
+            f"queries={len(self.query_log)}, cost={self.clock.now:g})"
+        )

@@ -86,3 +86,7 @@ class BudgetExceededError(SciborqError):
 
 class EstimationError(SciborqError):
     """An estimator could not produce a value (e.g. empty sample)."""
+
+
+class SessionError(SciborqError):
+    """A server session was used incorrectly (e.g. after close)."""

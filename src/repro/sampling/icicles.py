@@ -24,6 +24,7 @@ empirically in the tests.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Dict
 
@@ -67,9 +68,16 @@ class SelfTuningReservoir:
         self._total_weight = 0.0
         self._seen = 0
         self._result_offers = 0
+        # offer_results arrives from concurrent query threads (the
+        # server's exact path); offers must not interleave mid-update.
+        self._offer_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _offer(self, row_ids: np.ndarray, weight: float) -> int:
+        with self._offer_lock:
+            return self._offer_locked(row_ids, weight)
+
+    def _offer_locked(self, row_ids: np.ndarray, weight: float) -> int:
         accepted = 0
         for row_id in row_ids:
             self._offer_weight[int(row_id)] += weight
@@ -91,8 +99,9 @@ class SelfTuningReservoir:
     def offer_batch(self, row_ids: np.ndarray) -> int:
         """Offer freshly loaded tuples (weight 1 each)."""
         row_ids = np.asarray(row_ids, dtype=np.int64)
-        self._seen += row_ids.shape[0]
-        return self._offer(row_ids, 1.0)
+        with self._offer_lock:
+            self._seen += row_ids.shape[0]
+            return self._offer_locked(row_ids, 1.0)
 
     def offer_results(self, row_ids: np.ndarray) -> int:
         """Offer the base rows a query's result touched.
@@ -101,8 +110,9 @@ class SelfTuningReservoir:
         chance, weighted by ``result_boost``.
         """
         row_ids = np.asarray(row_ids, dtype=np.int64)
-        self._result_offers += row_ids.shape[0]
-        return self._offer(row_ids, self.result_boost)
+        with self._offer_lock:
+            self._result_offers += row_ids.shape[0]
+            return self._offer_locked(row_ids, self.result_boost)
 
     # ------------------------------------------------------------------
     @property

@@ -1,4 +1,4 @@
-"""Cost clocks and budgets for bounded query processing.
+"""Cost clocks, budgets, and per-execution cost contexts.
 
 SciBORQ promises an *upper limit on execution time* (paper §3.2).  The
 original system reasons about wall-clock minutes on MonetDB; a Python
@@ -9,12 +9,24 @@ controls (a query over a 10 000-tuple impression touches 60x fewer
 tuples than one over a 600 000-tuple base table).  A wall-clock adapter
 is provided for callers who want real seconds; the two share one
 interface so the bounded executor does not care which is in use.
+
+Bounds are per-*query* promises, so cost accounting is per-execution:
+each query opens an :class:`ExecutionContext` — a private cost meter
+plus budget and deadline — and operators charge the context, not a
+shared clock.  Session- or engine-wide clocks participate only as
+*observers*: every charge is forwarded to them, so they aggregate
+total spend without ever being read for per-query budget arithmetic.
+Two in-flight queries therefore cannot corrupt each other's bounds,
+which is what makes the multi-session server layer
+(:mod:`repro.core.server`) possible.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
 
 
 class CostClock:
@@ -22,11 +34,14 @@ class CostClock:
 
     Operators charge the clock once per tuple (or per vectorised batch)
     they touch.  Tests and benchmarks read :attr:`now` to get exact,
-    platform-independent cost figures.
+    platform-independent cost figures.  Charges are serialised with a
+    lock so the clock stays exact when it aggregates charges forwarded
+    from concurrently running execution contexts.
     """
 
     def __init__(self) -> None:
         self._ticks = 0.0
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -37,11 +52,13 @@ class CostClock:
         """Advance the clock by ``units`` (must be non-negative)."""
         if units < 0:
             raise ValueError(f"cannot charge negative cost: {units}")
-        self._ticks += units
+        with self._lock:
+            self._ticks += units
 
     def reset(self) -> None:
         """Rewind to zero; used between benchmark repetitions."""
-        self._ticks = 0.0
+        with self._lock:
+            self._ticks = 0.0
 
 
 class WallClock:
@@ -68,12 +85,124 @@ class WallClock:
         self._start = time.perf_counter()
 
 
+AnyClock = Union[CostClock, WallClock]
+
+
+class ExecutionContext:
+    """Per-execution cost meter + budget + deadline.
+
+    One context is opened per query execution and passed down the
+    whole operator path (executor, estimator, bounded processor), so
+    ``spent`` is exactly this execution's own cost — never polluted by
+    other in-flight queries.
+
+    Parameters
+    ----------
+    clock:
+        The clock that decides the accounting mode.  A
+        :class:`WallClock` makes the context measure elapsed real
+        seconds from its opening; a :class:`CostClock` (or ``None``)
+        gives the context a private deterministic meter and enrolls
+        the given clock as an observer.
+    limit:
+        Spending cap in the meter's units (cost units, or seconds for
+        wall mode); ``None`` means unbounded.
+    observers:
+        Additional clocks to forward every charge to — e.g. a
+        session's aggregate clock plus the engine's global clock.
+        Observers are write-only from the context's point of view.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[AnyClock] = None,
+        limit: Optional[float] = None,
+        observers: Sequence[AnyClock] = (),
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"context limit must be non-negative, got {limit}")
+        self.limit = limit
+        self._wall = clock if isinstance(clock, WallClock) else None
+        self._ticks = 0.0
+        forwarded = []
+        if clock is not None and self._wall is None:
+            forwarded.append(clock)
+        forwarded.extend(observers)
+        self._observers: Tuple[AnyClock, ...] = tuple(forwarded)
+        self._opened_at = self._wall.now if self._wall is not None else 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_wall(self) -> bool:
+        """Whether this context measures real seconds, not cost units."""
+        return self._wall is not None
+
+    @property
+    def spent(self) -> float:
+        """Cost charged to *this* execution (or seconds elapsed)."""
+        if self._wall is not None:
+            return self._wall.now - self._opened_at
+        return self._ticks
+
+    @property
+    def remaining(self) -> float:
+        """Budget left; ``inf`` when the context is unbounded."""
+        if self.limit is None:
+            return float("inf")
+        return max(0.0, self.limit - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once spending has reached or passed the limit."""
+        return self.remaining <= 0.0
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The meter reading at which the budget expires (None: never).
+
+        For wall mode this is an absolute reading of the underlying
+        wall clock; for cost mode it equals ``limit`` on the private
+        meter.
+        """
+        if self.limit is None:
+            return None
+        return self._opened_at + self.limit
+
+    def affords(self, units: float) -> bool:
+        """Whether ``units`` more cost would still fit in the budget."""
+        return units <= self.remaining
+
+    def charge(self, units: float) -> None:
+        """Charge this execution and forward to all observer clocks.
+
+        In wall mode the private meter is real time (the charge does
+        not move it), but the forwarded units still let deterministic
+        observer clocks aggregate tuples-touched across executions.
+        """
+        if units < 0:
+            raise ValueError(f"cannot charge negative cost: {units}")
+        if self._wall is None:
+            self._ticks += units
+        for observer in self._observers:
+            observer.charge(units)
+
+    def __repr__(self) -> str:
+        mode = "wall" if self.is_wall else "cost"
+        cap = "∞" if self.limit is None else f"{self.limit:g}"
+        return (
+            f"ExecutionContext({mode}, spent={self.spent:g}, limit={cap}, "
+            f"observers={len(self._observers)})"
+        )
+
+
 @dataclass
 class Budget:
     """A spending limit against a clock, tracked incrementally.
 
-    The bounded query processor opens one Budget per query.  ``limit``
-    of ``None`` means unbounded (quality-only queries).
+    Retained for callers that meter a single-threaded clock directly;
+    the query path itself uses :class:`ExecutionContext`, whose meter
+    is private per execution.  ``limit`` of ``None`` means unbounded
+    (quality-only queries).
     """
 
     clock: CostClock | WallClock

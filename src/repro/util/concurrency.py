@@ -1,0 +1,98 @@
+"""Concurrency primitives for the multi-session server layer.
+
+The server (:mod:`repro.core.server`) serves many sessions over one
+shared engine.  Queries only *read* the catalog, hierarchies, and
+interest state, while ingest and maintenance rewrite them, so the
+natural discipline is a readers-writer lock: any number of concurrent
+queries, exclusive writers.  The lock is writer-preferring — once a
+writer is waiting, new readers queue behind it — so a steady stream of
+cheap queries cannot starve ingest indefinitely (LifeRaft's failure
+mode when query throughput outpaces data arrival).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Not reentrant: a thread must not acquire the write side while
+    holding the read side (or vice versa).  The server keeps its
+    critical sections flat, so reentrancy is never needed.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave the read side, waking writers when the last one exits."""
+        with self._cond:
+            if self._active_readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is completely free, then enter exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave the write side, waking all waiters."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — shared critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — exclusive critical section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    @property
+    def readers(self) -> int:
+        """Readers currently inside (diagnostic)."""
+        return self._active_readers
+
+    @property
+    def writing(self) -> bool:
+        """Whether a writer currently holds the lock (diagnostic)."""
+        return self._writer_active

@@ -10,6 +10,7 @@ number of queries" (§4).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -48,15 +49,19 @@ class QueryLog:
         self.max_entries = max_entries
         self._entries: list[QueryLogEntry] = []
         self._next_sequence = 0
+        # execute_many() can log into one session's log from several
+        # pool threads at once; sequence numbers must stay unique.
+        self._lock = threading.Lock()
 
     def record(self, query: Query) -> QueryLogEntry:
         """Append a query; returns its log entry."""
-        entry = QueryLogEntry(self._next_sequence, query)
-        self._next_sequence += 1
-        self._entries.append(entry)
-        if self.max_entries is not None and len(self._entries) > self.max_entries:
-            del self._entries[: len(self._entries) - self.max_entries]
-        return entry
+        with self._lock:
+            entry = QueryLogEntry(self._next_sequence, query)
+            self._next_sequence += 1
+            self._entries.append(entry)
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                del self._entries[: len(self._entries) - self.max_entries]
+            return entry
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,311 @@
+"""Tests for the multi-session server layer.
+
+The headline guarantee — pinned deterministically here — is zero
+cross-session budget leakage: a query's reported ``total_cost`` under
+concurrent execution equals, exactly, what the same query costs run
+alone on an identical engine.  Everything else (locking discipline,
+session lifecycle, contract defaults) supports that guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.columnstore import AggregateSpec, Query
+from repro.columnstore.expressions import RadialPredicate
+from repro.core.engine import SciBorq
+from repro.core.server import SciBorqServer
+from repro.errors import SessionError
+from repro.skyserver.generator import SkyGenerator, build_skyserver
+from repro.skyserver.schema import DEC_RANGE, RA_RANGE, create_skyserver_catalog
+from repro.util.concurrency import ReadWriteLock
+
+
+def make_engine() -> SciBorq:
+    """A deterministic engine; two calls produce identical state."""
+    engine = SciBorq(
+        create_skyserver_catalog(),
+        interest_attributes={"ra": RA_RANGE, "dec": DEC_RANGE},
+        rng=401,
+    )
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="uniform", layer_sizes=(5_000, 500)
+    )
+    build_skyserver(
+        30_000, generator=SkyGenerator(rng=402), loader=engine.loader
+    )
+    return engine
+
+
+def cone(ra: float, radius: float) -> Query:
+    return Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", ra, 10.0, radius),
+        aggregates=[AggregateSpec("count")],
+    )
+
+
+#: (center ra, radius, max_relative_error) per session "user".
+WORKLOADS = {
+    "alice": [(150.0, 5.0, 0.05), (170.0, 3.0, 0.5), (200.0, 8.0, 0.1)],
+    "bob": [(210.0, 2.0, 0.5), (130.0, 6.0, 0.02), (190.0, 4.0, 0.2)],
+    "carol": [(160.0, 7.0, 0.3), (220.0, 5.0, 0.05), (140.0, 3.0, 0.5)],
+    "dave": [(180.0, 6.0, 0.1), (150.0, 2.0, 0.5), (230.0, 7.0, 0.02)],
+}
+
+
+class TestCrossSessionIsolation:
+    def test_concurrent_costs_equal_serial_costs_exactly(self):
+        """The ISSUE's deterministic regression: zero budget leakage.
+
+        Four sessions run interleaved on a thread pool; every query's
+        ``total_cost`` must equal — exactly, under the deterministic
+        CostClock — the cost of the same query run serially on an
+        identically-seeded engine.
+        """
+        serial_engine = make_engine()
+        serial_costs = {}
+        for user, specs in WORKLOADS.items():
+            for ra, radius, error in specs:
+                outcome = serial_engine.execute(
+                    cone(ra, radius), max_relative_error=error
+                )
+                serial_costs[(user, ra, radius)] = outcome.total_cost
+
+        with SciBorqServer(make_engine(), max_workers=4) as server:
+            sessions = {user: server.open_session(user) for user in WORKLOADS}
+            jobs, keys = [], []
+            # interleave users round-robin so the pool mixes sessions
+            for position in range(3):
+                for user, specs in WORKLOADS.items():
+                    ra, radius, error = specs[position]
+                    jobs.append(
+                        (
+                            sessions[user],
+                            cone(ra, radius),
+                            sessions[user].contract(max_relative_error=error),
+                            None,
+                        )
+                    )
+                    keys.append((user, ra, radius))
+            outcomes = server.execute_jobs(jobs)
+
+            for key, outcome in zip(keys, outcomes):
+                assert outcome.total_cost == serial_costs[key], key
+                # total_cost is also internally consistent: the sum of
+                # the attempts' own charges
+                assert outcome.total_cost == sum(
+                    attempt.cost for attempt in outcome.attempts
+                )
+
+            # session clocks partition the engine clock exactly
+            engine_total = server.engine.clock.now
+            session_total = sum(s.clock.now for s in sessions.values())
+            assert engine_total == session_total
+            for user, session in sessions.items():
+                expected = sum(
+                    serial_costs[(user, ra, radius)]
+                    for ra, radius, _ in WORKLOADS[user]
+                )
+                assert session.total_cost == expected
+
+    def test_per_session_logs_see_only_their_queries(self):
+        with SciBorqServer(make_engine(), max_workers=2) as server:
+            alice = server.open_session("alice")
+            bob = server.open_session("bob")
+            alice.execute_many([cone(150.0, 5.0), cone(160.0, 5.0)])
+            bob.execute(cone(200.0, 3.0))
+            assert len(alice.query_log) == 2
+            assert len(bob.query_log) == 1
+            # the shared engine log feeds the global interest model
+            assert len(server.engine.query_log) == 3
+
+
+class TestSessionLifecycle:
+    def test_session_defaults_and_overrides(self):
+        with SciBorqServer(make_engine()) as server:
+            session = server.open_session(
+                "strict-user", max_relative_error=0.1, time_budget=50_000
+            )
+            contract = session.contract()
+            assert contract.max_relative_error == 0.1
+            assert contract.time_budget == 50_000
+            override = session.contract(max_relative_error=0.9)
+            assert override.max_relative_error == 0.9
+            assert override.time_budget == 50_000  # default survives
+
+    def test_budgeted_session_reports_spend_within_budget(self):
+        with SciBorqServer(make_engine()) as server:
+            session = server.open_session("frugal", time_budget=6_000)
+            outcome = session.execute(cone(150.0, 5.0))
+            assert outcome.met_budget
+            assert outcome.total_cost <= 6_000
+
+    def test_closed_session_rejects_execution(self):
+        with SciBorqServer(make_engine()) as server:
+            session = server.open_session()
+            session.close()
+            assert session.closed
+            with pytest.raises(SessionError, match="closed"):
+                session.execute(cone(150.0, 5.0))
+            assert session not in server.sessions
+
+    def test_shutdown_closes_sessions_and_rejects_new_ones(self):
+        server = SciBorqServer(make_engine())
+        session = server.open_session()
+        server.shutdown()
+        assert session.closed
+        with pytest.raises(SessionError, match="shut down"):
+            server.open_session()
+        server.shutdown()  # idempotent
+
+    def test_strict_batch_with_return_exceptions(self):
+        """A strict batch returns each failure in place, keeping the
+        completed siblings' results."""
+        from repro.errors import QualityBoundError
+
+        with SciBorqServer(make_engine(), max_workers=2) as server:
+            session = server.open_session("strict", strict=True)
+            results = session.execute_many(
+                [cone(150.0, 5.0), cone(170.0, 3.0)],
+                max_relative_error=1e-12,
+                time_budget=600,  # only the smallest layer fits: bound missed
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, QualityBoundError) for r in results)
+            ok = session.execute_many(
+                [cone(150.0, 5.0), cone(170.0, 3.0)], max_relative_error=0.9
+            )
+            assert all(o.result is not None for o in ok)
+            # without the flag, the first failure re-raises after the gather
+            with pytest.raises(QualityBoundError):
+                session.execute_many(
+                    [cone(150.0, 5.0)], max_relative_error=1e-12, time_budget=600
+                )
+
+    def test_session_stats_roll_up(self):
+        with SciBorqServer(make_engine()) as server:
+            session = server.open_session("counter")
+            session.execute(cone(150.0, 5.0), max_relative_error=0.5)
+            stats = session.stats()
+            assert stats.queries == 1
+            assert stats.total_cost == session.total_cost > 0
+            assert server.queries_served == 1
+
+
+class TestWriterPaths:
+    def test_ingest_between_query_batches(self):
+        with SciBorqServer(make_engine(), max_workers=2) as server:
+            session = server.open_session()
+            before = session.execute(cone(150.0, 5.0))
+            base_rows = server.engine.catalog.table("PhotoObjAll").num_rows
+            generator = SkyGenerator(rng=403)
+            server.ingest("PhotoObjAll", generator.photoobj_batch(2_000))
+            assert (
+                server.engine.catalog.table("PhotoObjAll").num_rows
+                == base_rows + 2_000
+            )
+            after = session.execute(cone(150.0, 5.0))
+            assert after.result is not None
+            assert before.result is not None
+
+    def test_concurrent_queries_and_ingest_smoke(self):
+        """Readers and a writer interleave without corrupting state."""
+        with SciBorqServer(make_engine(), max_workers=4) as server:
+            sessions = [server.open_session(f"u{i}") for i in range(3)]
+            stop = threading.Event()
+            errors: list[BaseException] = []
+
+            def keep_ingesting() -> None:
+                generator = SkyGenerator(rng=404)
+                try:
+                    while not stop.is_set():
+                        server.ingest(
+                            "PhotoObjAll", generator.photoobj_batch(500)
+                        )
+                        time.sleep(0.001)
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            writer = threading.Thread(target=keep_ingesting)
+            writer.start()
+            try:
+                for _ in range(3):
+                    jobs = [
+                        (session, cone(150.0 + 10 * i, 5.0))
+                        for i, session in enumerate(sessions)
+                    ]
+                    outcomes = server.execute_many(jobs)
+                    assert all(o.result is not None for o in outcomes)
+            finally:
+                stop.set()
+                writer.join(timeout=30)
+            assert not errors
+            assert not writer.is_alive()
+
+
+class TestReadWriteLock:
+    def test_many_readers_coexist(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                assert lock.readers == 2
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order: list[str] = []
+        ready = threading.Event()
+
+        def reader() -> None:
+            ready.set()
+            with lock.read_locked():
+                order.append("reader")
+
+        lock.acquire_write()
+        thread = threading.Thread(target=reader)
+        thread.start()
+        ready.wait(timeout=5)
+        time.sleep(0.02)  # reader is now blocked on the write side
+        order.append("writer")
+        lock.release_write()
+        thread.join(timeout=5)
+        assert order == ["writer", "reader"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_entered = threading.Event()
+
+        def writer() -> None:
+            with lock.write_locked():
+                writer_entered.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.02)  # writer is now queued
+        late_reader_done = threading.Event()
+
+        def late_reader() -> None:
+            with lock.read_locked():
+                late_reader_done.set()
+
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.02)
+        # writer preference: the late reader must still be waiting
+        assert not late_reader_done.is_set()
+        lock.release_read()
+        thread.join(timeout=5)
+        late.join(timeout=5)
+        assert writer_entered.is_set() and late_reader_done.is_set()
+
+    def test_unbalanced_release_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
