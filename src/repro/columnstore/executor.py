@@ -30,6 +30,7 @@ from repro.columnstore.recycler import Recycler
 from repro.columnstore.table import Table
 from repro.errors import QueryError
 from repro.util.clock import CostClock, ExecutionContext, WallClock
+from repro.util.concurrency import MorselPool, shared_scan_pool
 
 
 @dataclass
@@ -113,6 +114,12 @@ class Executor:
         private :class:`CostClock`.
     recycler:
         Optional intermediate-result cache consulted for selections.
+    scan_pool:
+        Worker pool for morsel-parallel selections.  Defaults to the
+        process-wide shared pool; pass ``None`` explicitly via
+        ``parallel_scans=False`` to force serial scans.
+    parallel_scans:
+        Whether selections may fan out across the scan pool.
     """
 
     def __init__(
@@ -120,10 +127,16 @@ class Executor:
         catalog: Catalog,
         clock: Optional[CostClock | WallClock] = None,
         recycler: Optional[Recycler] = None,
+        scan_pool: Optional[MorselPool] = None,
+        parallel_scans: bool = True,
     ) -> None:
         self.catalog = catalog
         self.clock = clock if clock is not None else CostClock()
         self.recycler = recycler
+        if not parallel_scans:
+            self.scan_pool: Optional[MorselPool] = None
+        else:
+            self.scan_pool = scan_pool if scan_pool is not None else shared_scan_pool()
 
     def new_context(self, limit: Optional[float] = None) -> ExecutionContext:
         """Open a fresh per-execution context observed by our clock."""
@@ -176,7 +189,9 @@ class Executor:
                 stats.recycled = True
                 stats.add(OperatorStats("select(recycled)", 0, indices.shape[0]))
         if indices is None:
-            indices, op = operators.select(source, query.predicate)
+            indices, op = operators.select(
+                source, query.predicate, pool=self.scan_pool
+            )
             context.charge(op.cost)
             stats.add(op)
             if self.recycler is not None:

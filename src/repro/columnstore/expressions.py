@@ -8,16 +8,25 @@ values it requests via :meth:`Expression.requested_values`.
 
 Expressions also produce stable ``fingerprint`` strings so the recycler
 can recognise a repeated selection without evaluating it.
+
+For zone-map pruned scans every expression additionally answers
+:meth:`Expression.prune`: given the per-column :class:`Zone` summaries
+of one storage block, can the block be *skipped* because no row in it
+can possibly match?  Prune answers must be conservative — False
+("must scan") is always safe, True is a promise.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 import numpy as np
 
+from repro.columnstore.column import Zone
 from repro.columnstore.table import Table
 from repro.errors import QueryError
+
+_NUMERIC = (int, float, np.integer, np.floating)
 
 _COMPARATORS: Dict[str, Callable[[np.ndarray, object], np.ndarray]] = {
     "<": lambda a, b: a < b,
@@ -54,6 +63,15 @@ class Expression:
     def fingerprint(self) -> str:
         """A canonical string identifying this predicate for caching."""
         raise NotImplementedError
+
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        """Whether a block with these per-column zones can be skipped.
+
+        ``zones`` maps column name to that block's :class:`Zone`;
+        columns without zone maps are absent.  The default is the
+        conservative "must scan".
+        """
+        return False
 
     # Composition sugar --------------------------------------------------
     def __and__(self, other: "Expression") -> "Expression":
@@ -112,6 +130,27 @@ class Comparison(Expression):
     def fingerprint(self) -> str:
         return f"({self.column}{self.op}{self.value!r})"
 
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        zone = zones.get(self.column)
+        if zone is None or not isinstance(self.value, _NUMERIC):
+            return False
+        if zone.empty:
+            # an all-NaN block fails every comparison except ``!=``
+            return self.op != "!="
+        value = self.value
+        if self.op == "<":
+            return bool(zone.lo >= value)
+        if self.op == "<=":
+            return bool(zone.lo > value)
+        if self.op == ">":
+            return bool(zone.hi <= value)
+        if self.op == ">=":
+            return bool(zone.hi < value)
+        if self.op == "==":
+            return bool(value < zone.lo or value > zone.hi)
+        # "!=": only a constant NaN-free run of exactly ``value`` fails
+        return bool(not zone.has_nan and zone.lo == zone.hi == value)
+
 
 class Between(Expression):
     """``lo <= column <= hi`` (inclusive on both ends)."""
@@ -135,6 +174,12 @@ class Between(Expression):
 
     def fingerprint(self) -> str:
         return f"({self.column} between {self.lo!r} and {self.hi!r})"
+
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        zone = zones.get(self.column)
+        if zone is None:
+            return False
+        return bool(zone.empty or zone.hi < self.lo or zone.lo > self.hi)
 
 
 class InSet(Expression):
@@ -162,6 +207,16 @@ class InSet(Expression):
 
     def fingerprint(self) -> str:
         return f"({self.column} in {sorted(map(repr, self.values))})"
+
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        zone = zones.get(self.column)
+        if zone is None or not all(
+            isinstance(v, _NUMERIC) for v in self.values
+        ):
+            return False
+        if zone.empty:
+            return True
+        return all(v < zone.lo or v > zone.hi for v in self.values)
 
 
 class RadialPredicate(Expression):
@@ -202,6 +257,23 @@ class RadialPredicate(Expression):
             f"r={self.radius!r})"
         )
 
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        # the cone's bounding box must intersect both axis zones
+        for column, centre in (
+            (self.x_column, self.cx),
+            (self.y_column, self.cy),
+        ):
+            zone = zones.get(column)
+            if zone is None:
+                continue
+            if (
+                zone.empty
+                or zone.hi < centre - self.radius
+                or zone.lo > centre + self.radius
+            ):
+                return True
+        return False
+
 
 class And(Expression):
     """Conjunction of sub-expressions."""
@@ -226,6 +298,9 @@ class And(Expression):
     def fingerprint(self) -> str:
         return "(and " + " ".join(op.fingerprint() for op in self.operands) + ")"
 
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        return any(op.prune(zones) for op in self.operands)
+
 
 class Or(Expression):
     """Disjunction of sub-expressions."""
@@ -249,6 +324,9 @@ class Or(Expression):
 
     def fingerprint(self) -> str:
         return "(or " + " ".join(op.fingerprint() for op in self.operands) + ")"
+
+    def prune(self, zones: Mapping[str, Zone]) -> bool:
+        return all(op.prune(zones) for op in self.operands)
 
 
 class Not(Expression):

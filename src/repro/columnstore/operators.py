@@ -5,12 +5,19 @@ many tuples it touched.  The tuple counts are the library's cost model:
 SciBORQ's runtime bounds are enforced by choosing which impression an
 operator tree runs over, and the benefit is visible precisely in these
 counts (paper §3.2).
+
+Selection is zone-map aware: storage blocks whose per-column min/max
+summaries cannot satisfy the predicate are skipped entirely and —
+crucially for the cost model — *not charged*.  Surviving blocks are
+scanned in morsels, optionally in parallel on a
+:class:`~repro.util.concurrency.MorselPool`; fragments merge in block
+order, so the result is bit-identical to a full scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +26,12 @@ from repro.columnstore.expressions import Expression
 from repro.columnstore.query import AggregateSpec
 from repro.columnstore.table import Table
 from repro.errors import QueryError
+from repro.util.concurrency import MorselPool
+
+#: Minimum rows a pruned scan must cover before it fans out to the
+#: pool; below this the numpy kernel is too quick to be worth handing
+#: between threads.
+PARALLEL_MIN_ROWS = 65_536
 
 
 @dataclass(frozen=True)
@@ -28,6 +41,9 @@ class OperatorStats:
     operator: str
     tuples_in: int
     tuples_out: int
+    #: Zone-map bookkeeping (selection only; zero elsewhere).
+    blocks_scanned: int = 0
+    blocks_pruned: int = 0
 
     @property
     def cost(self) -> int:
@@ -38,18 +54,132 @@ class OperatorStats:
 # ----------------------------------------------------------------------
 # selection
 # ----------------------------------------------------------------------
-def select(
+class _BlockView:
+    """A zero-copy row-range view of a table, for per-morsel evaluation.
+
+    Implements exactly the surface predicates read during
+    :meth:`~repro.columnstore.expressions.Expression.evaluate`:
+    ``view[column]`` and ``view.num_rows``.
+    """
+
+    __slots__ = ("_table", "_start", "_stop")
+
+    def __init__(self, table: Table, start: int, stop: int) -> None:
+        self._table = table
+        self._start = start
+        self._stop = stop
+
+    @property
+    def num_rows(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._table[name][self._start : self._stop]
+
+
+def scan_plan(
     table: Table, predicate: Expression
+) -> Tuple[List[Tuple[int, int]], int, int, int]:
+    """Decide which row ranges a pruned scan must actually read.
+
+    Returns ``(runs, rows_to_scan, blocks_scanned, blocks_pruned)``
+    where ``runs`` are maximal contiguous ``(start, stop)`` row ranges
+    of surviving blocks, in order.  Tables without a common block grid
+    (or predicates reading no columns) degenerate to one full run.
+    """
+    num_rows = table.num_rows
+    if num_rows == 0:
+        return [], 0, 0, 0
+    block_size = table.block_size
+    num_blocks = table.num_blocks
+    needed = predicate.columns()
+    if block_size is None or num_blocks <= 1 or not needed:
+        return [(0, num_rows)], num_rows, max(num_blocks, 1), 0
+    runs: List[Tuple[int, int]] = []
+    rows_to_scan = 0
+    pruned = 0
+    run_start: Optional[int] = None
+    for block in range(num_blocks):
+        start = block * block_size
+        stop = min(start + block_size, num_rows)
+        zones = table.block_zones(block, needed)
+        if zones and predicate.prune(zones):
+            pruned += 1
+            if run_start is not None:
+                runs.append((run_start, start))
+                run_start = None
+            continue
+        rows_to_scan += stop - start
+        if run_start is None:
+            run_start = start
+    if run_start is not None:
+        runs.append((run_start, num_rows))
+    return runs, rows_to_scan, num_blocks - pruned, pruned
+
+
+def _morsels(
+    runs: Sequence[Tuple[int, int]], morsel_rows: int
+) -> List[Tuple[int, int]]:
+    """Split surviving runs into bounded work units, preserving order."""
+    morsels: List[Tuple[int, int]] = []
+    for start, stop in runs:
+        while stop - start > morsel_rows:
+            morsels.append((start, start + morsel_rows))
+            start += morsel_rows
+        morsels.append((start, stop))
+    return morsels
+
+
+def select(
+    table: Table,
+    predicate: Expression,
+    pool: Optional[MorselPool] = None,
+    parallel_min_rows: int = PARALLEL_MIN_ROWS,
 ) -> Tuple[np.ndarray, OperatorStats]:
     """Evaluate ``predicate`` over ``table``; return row indices + stats.
 
     Returns indices rather than a materialised table so the recycler can
     cache the (small) index vector and later callers can re-materialise
     against the same table version.
+
+    Blocks the predicate's zone maps rule out are skipped and not
+    charged: ``stats.tuples_in`` (the cost) counts only rows actually
+    scanned.  When ``pool`` is given and the surviving rows are worth
+    it, morsels are evaluated in parallel; fragment order is preserved,
+    so the indices are identical to an unpruned full scan's.
     """
-    mask = predicate.evaluate(table)
-    indices = np.flatnonzero(mask)
-    stats = OperatorStats("select", table.num_rows, int(indices.shape[0]))
+    runs, rows_to_scan, blocks_scanned, blocks_pruned = scan_plan(
+        table, predicate
+    )
+    if not runs:
+        indices = np.empty(0, dtype=np.int64)
+    else:
+        block_size = table.block_size or table.num_rows
+        morsels = _morsels(runs, max(block_size, 1))
+
+        def scan_morsel(bounds: Tuple[int, int]) -> np.ndarray:
+            start, stop = bounds
+            mask = predicate.evaluate(_BlockView(table, start, stop))
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+
+        if (
+            pool is not None
+            and len(morsels) > 1
+            and rows_to_scan >= parallel_min_rows
+        ):
+            fragments = pool.map(scan_morsel, morsels)
+        else:
+            fragments = [scan_morsel(m) for m in morsels]
+        indices = (
+            np.concatenate(fragments) if len(fragments) > 1 else fragments[0]
+        )
+    stats = OperatorStats(
+        "select",
+        rows_to_scan,
+        int(indices.shape[0]),
+        blocks_scanned=blocks_scanned,
+        blocks_pruned=blocks_pruned,
+    )
     return indices, stats
 
 
@@ -229,10 +359,19 @@ def group_aggregate(
 def sort(
     table: Table, by: str, descending: bool = False, name: str = "sort"
 ) -> Tuple[Table, OperatorStats]:
-    """Full sort of a materialised table by one column."""
-    order = np.argsort(table[by], kind="stable")
+    """Full sort of a materialised table by one column.
+
+    Stable in both directions: rows with equal keys keep their input
+    order.  (Reversing an ascending stable order would reverse the tie
+    runs too, so the descending path sorts the *reversed* input
+    ascending and flips that — ties land back in input order.)
+    """
+    values = table[by]
     if descending:
-        order = order[::-1]
+        reversed_order = np.argsort(values[::-1], kind="stable")
+        order = (table.num_rows - 1 - reversed_order)[::-1]
+    else:
+        order = np.argsort(values, kind="stable")
     stats = OperatorStats("sort", table.num_rows, table.num_rows)
     return table.take(order, name), stats
 

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, List, Optional
 import numpy as np
 
 from repro.columnstore.catalog import Catalog
+from repro.columnstore.operators import scan_plan
 from repro.columnstore.query import Query
 from repro.columnstore.table import Table
 
@@ -70,6 +71,12 @@ def estimate_cost(
     Joins charge the surviving fact rows plus the full dimension table
     (the sort-based join reads both sides); aggregation and sorting
     charge the rows that reach them.
+
+    The select step is **zone-map aware**: it charges only the rows of
+    blocks the predicate's :meth:`prune` cannot rule out — the same
+    computation the pruned scan itself performs — so the estimate the
+    bounded processor's escalation decisions see matches the cheaper
+    post-pruning reality exactly.
     """
     if statistics is not None:
         selectivity = float(
@@ -80,7 +87,11 @@ def estimate_cost(
     source = fact_table if fact_table is not None else catalog.table(query.table)
     steps: list[PlanStep] = []
     rows = float(source.num_rows)
-    steps.append(PlanStep("select", rows, f"scan {source.name}"))
+    _, rows_to_scan, _, blocks_pruned = scan_plan(source, query.predicate)
+    detail = f"scan {source.name}"
+    if blocks_pruned:
+        detail += f" ({blocks_pruned} blocks pruned)"
+    steps.append(PlanStep("select", float(rows_to_scan), detail))
     surviving = rows * selectivity
     for join in query.joins:
         dimension = catalog.table(join.right_table)

@@ -120,10 +120,12 @@ class Recycler:
     @property
     def size_bytes(self) -> int:
         """Bytes currently cached."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""

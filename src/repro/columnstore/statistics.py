@@ -22,6 +22,7 @@ predicate AST with the usual independence assumptions:
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -60,16 +61,26 @@ class TableStatistics:
         self.table = table
         self.bins = int(bins)
         self._histograms: Dict[str, Tuple[int, Optional[EquiDepthHistogram]]] = {}
+        # One statistics object serves every concurrent query of a
+        # server (selectivity estimation is on the read path), while
+        # ingest invalidates entries by bumping the table version — so
+        # the cache dict must never be read and rebuilt unlocked.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def histogram(self, column: str) -> Optional[EquiDepthHistogram]:
         """The column's histogram, rebuilt when the table has grown.
 
-        Returns None for non-numeric or empty columns.
+        Returns None for non-numeric or empty columns.  Thread-safe,
+        and the O(n log n) build happens *outside* the lock so cache
+        hits on other columns never stall behind a rebuild; racing
+        rebuilders are resolved by a version double-check on store.
         """
-        cached = self._histograms.get(column)
-        if cached is not None and cached[0] == self.table.version:
-            return cached[1]
+        with self._lock:
+            version = self.table.version
+            cached = self._histograms.get(column)
+            if cached is not None and cached[0] == version:
+                return cached[1]
         values = self.table[column]
         if values.shape[0] == 0 or not np.issubdtype(values.dtype, np.number):
             histogram = None
@@ -77,8 +88,13 @@ class TableStatistics:
             histogram = EquiDepthHistogram(
                 np.asarray(values, dtype=float), self.bins
             )
-        self._histograms[column] = (self.table.version, histogram)
-        return histogram
+        with self._lock:
+            current = self._histograms.get(column)
+            if current is not None and current[0] > version:
+                # a concurrent rebuild saw fresher data; keep it
+                return current[1]
+            self._histograms[column] = (version, histogram)
+            return histogram
 
     # ------------------------------------------------------------------
     def _range_selectivity(self, column: str, lo: float, hi: float) -> float:
@@ -173,4 +189,5 @@ class TableStatistics:
 
     def clear(self) -> None:
         """Drop all cached histograms."""
-        self._histograms.clear()
+        with self._lock:
+            self._histograms.clear()

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.columnstore.column import Column
+from repro.columnstore.column import Column, Zone
 from repro.errors import LoadError, SchemaError, UnknownColumnError
 
 
@@ -88,6 +88,46 @@ class Table:
     def version(self) -> int:
         """Monotone counter bumped on every append batch."""
         return self._version
+
+    # ------------------------------------------------------------------
+    # blocks and zone maps
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int | None:
+        """Common storage block size, or None when columns disagree.
+
+        Pruned scans need one block grid shared by every column; a
+        table assembled from columns with mismatched block sizes (only
+        possible by constructing Columns by hand) reports None, which
+        disables pruning rather than mis-aligning zones.
+        """
+        sizes = {col.block_size for col in self._columns.values()}
+        if len(sizes) != 1:
+            return None
+        (size,) = sizes
+        return size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of (full or partial) storage blocks."""
+        block_size = self.block_size
+        if block_size is None or self.num_rows == 0:
+            return 0
+        return -(-self.num_rows // block_size)
+
+    def block_zones(self, block: int, names: Iterable[str]) -> Dict[str, Zone]:
+        """Zone maps of ``block`` for the named columns.
+
+        Columns that keep no zones (non-numeric) are simply absent
+        from the result — predicates treat a missing zone as
+        unprunable.
+        """
+        zones: Dict[str, Zone] = {}
+        for name in names:
+            zone = self.column(name).zone(block)
+            if zone is not None:
+                zones[name] = zone
+        return zones
 
     def has_column(self, name: str) -> bool:
         """Whether the table declares a column called ``name``."""
@@ -195,7 +235,12 @@ class Table:
         return Table(
             name or f"{self.name}#project",
             [
-                Column(n, self._columns[n].dtype, self._columns[n].values)
+                Column(
+                    n,
+                    self._columns[n].dtype,
+                    self._columns[n].values,
+                    block_size=self._columns[n].block_size,
+                )
                 for n in names
             ],
         )

@@ -187,11 +187,19 @@ class BoundedQueryProcessor:
         return predicted_cost / self._throughput
 
     def _observe_throughput(
-        self, predicted_cost: float, elapsed: float, context: ExecutionContext
+        self, charged: float, elapsed: float, context: ExecutionContext
     ) -> None:
-        if not context.is_wall or elapsed <= 0:
+        """Blend one rung's observed tuples/sec into the calibration.
+
+        ``charged`` is the cost the rung *actually* billed to its
+        context (tuples touched), not the planner's prediction —
+        calibrating from predictions would skew the rate by exactly
+        the selectivity-estimation error and bias every later
+        budget-unit conversion.
+        """
+        if not context.is_wall or elapsed <= 0 or charged <= 0:
             return
-        observed = predicted_cost / elapsed
+        observed = charged / elapsed
         with self._throughput_lock:
             if self._throughput is None:
                 self._throughput = observed
@@ -264,6 +272,7 @@ class BoundedQueryProcessor:
                 ):
                     continue
             spent_before = context.spent
+            charged_before = context.charged_units
             try:
                 result = self._run_rung(
                     query, rung, contract.confidence, base, context
@@ -283,7 +292,11 @@ class BoundedQueryProcessor:
                 )
                 continue
             attempt_error = result.worst_relative_error
-            self._observe_throughput(cost, context.spent - spent_before, context)
+            self._observe_throughput(
+                context.charged_units - charged_before,
+                context.spent - spent_before,
+                context,
+            )
             satisfied = (
                 contract.max_relative_error is None
                 or attempt_error <= contract.max_relative_error

@@ -124,6 +124,7 @@ class ExecutionContext:
         self.limit = limit
         self._wall = clock if isinstance(clock, WallClock) else None
         self._ticks = 0.0
+        self._charged = 0.0
         forwarded = []
         if clock is not None and self._wall is None:
             forwarded.append(clock)
@@ -143,6 +144,18 @@ class ExecutionContext:
         if self._wall is not None:
             return self._wall.now - self._opened_at
         return self._ticks
+
+    @property
+    def charged_units(self) -> float:
+        """Deterministic units (tuples touched) charged to this context.
+
+        Identical to :attr:`spent` in cost mode; in wall mode it keeps
+        counting the forwarded tuple charges even though the meter
+        itself measures seconds — which is what lets wall-mode callers
+        (e.g. throughput calibration) know the work actually done, not
+        just the work predicted.
+        """
+        return self._charged
 
     @property
     def remaining(self) -> float:
@@ -181,6 +194,7 @@ class ExecutionContext:
         """
         if units < 0:
             raise ValueError(f"cannot charge negative cost: {units}")
+        self._charged += units
         if self._wall is None:
             self._ticks += units
         for observer in self._observers:

@@ -1,4 +1,4 @@
-"""Concurrency primitives for the multi-session server layer.
+"""Concurrency primitives: the RW lock and the morsel scan pool.
 
 The server (:mod:`repro.core.server`) serves many sessions over one
 shared engine.  Queries only *read* the catalog, hierarchies, and
@@ -8,13 +8,26 @@ queries, exclusive writers.  The lock is writer-preferring — once a
 writer is waiting, new readers queue behind it — so a steady stream of
 cheap queries cannot starve ingest indefinitely (LifeRaft's failure
 mode when query throughput outpaces data arrival).
+
+The module also owns the :class:`MorselPool` used by morsel-parallel
+scans (:func:`repro.columnstore.operators.select`): surviving storage
+blocks are split into morsels and evaluated on a small shared thread
+pool.  Numpy releases the GIL inside its comparison kernels, so this
+is real parallelism on multi-core hosts, and a process-wide singleton
+(:func:`shared_scan_pool`) keeps the thread count bounded no matter
+how many executors and sessions exist.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 class ReadWriteLock:
@@ -96,3 +109,61 @@ class ReadWriteLock:
     def writing(self) -> bool:
         """Whether a writer currently holds the lock (diagnostic)."""
         return self._writer_active
+
+
+class MorselPool:
+    """A lazily started thread pool for morsel-parallel scan work.
+
+    Threads are only created on the first :meth:`map` call, so opening
+    executors stays free and short scans that never parallelise pay
+    nothing.  ``map`` preserves input order, which is what lets the
+    pruned scan concatenate its index fragments into the exact order a
+    serial scan would produce.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def map(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> List[_R]:
+        """Apply ``fn`` to every item on the pool, preserving order."""
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        # submit under the lock so a concurrent shutdown() cannot
+        # close the executor between the existence check and the
+        # submissions; results are gathered outside it.
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="morsel-scan",
+                )
+            futures = [self._executor.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent; pool restarts lazily)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+
+_shared_pool: MorselPool | None = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_scan_pool() -> MorselPool:
+    """The process-wide scan pool every executor shares by default."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = MorselPool()
+        return _shared_pool

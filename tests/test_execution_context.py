@@ -202,6 +202,50 @@ class TestWallClockThroughputCalibration:
         assert wall_processor._throughput is not None
         assert wall_processor._throughput > 0
 
+    def test_calibration_ignores_zero_charge_observations(self, wall_processor):
+        context = wall_processor.new_context()
+        wall_processor._observe_throughput(0.0, 0.5, context)
+        assert wall_processor._throughput is None
+
+    def test_calibration_uses_charged_not_predicted(self, wall_processor):
+        """Regression: calibration blended the *predicted* cost over
+        elapsed time, so a misestimating planner skewed the tuples/sec
+        rate.  The observation must be the tuples actually charged to
+        the context."""
+        observations = []
+        original = wall_processor._observe_throughput
+
+        def spy(charged, elapsed, context):
+            observations.append(charged)
+            return original(charged, elapsed, context)
+
+        wall_processor._observe_throughput = spy
+        # a planner that is wrong by six orders of magnitude
+        wall_processor._predicted_cost = lambda query, rung, base: 1e12
+
+        aggregate = CostClock()
+        context = ExecutionContext(clock=WallClock(), observers=(aggregate,))
+        wall_processor.execute(cone(), context=context)
+
+        assert observations, "execution must calibrate"
+        # every observation is real charged work, never the prediction
+        assert all(charged < 1e12 for charged in observations)
+        assert sum(observations) == pytest.approx(aggregate.now)
+
+
+class TestChargedUnits:
+    def test_cost_mode_charged_equals_spent(self):
+        context = ExecutionContext(clock=CostClock())
+        context.charge(25)
+        assert context.charged_units == context.spent == 25
+
+    def test_wall_mode_counts_charged_units_separately(self):
+        context = ExecutionContext(clock=WallClock())
+        context.charge(1_000)
+        context.charge(500)
+        assert context.charged_units == 1_500
+        assert context.spent < 1.0  # the meter itself is seconds
+
 
 class TestContractContextAgreement:
     def test_unlimited_context_still_enforces_contract_budget(self, sky_engine):

@@ -161,6 +161,32 @@ class TestSortLimit:
         np.testing.assert_array_equal(asc["v"], np.sort(fact["v"]))
         np.testing.assert_array_equal(desc["v"], np.sort(fact["v"])[::-1])
 
+    def test_descending_sort_keeps_ties_in_input_order(self):
+        """Regression: reversing the ascending stable order flipped
+        tie runs back-to-front."""
+        t = Table.from_arrays(
+            "t",
+            {
+                "key": np.array([1.0, 2.0, 1.0, 2.0, 1.0]),
+                "pos": np.arange(5),
+            },
+        )
+        out, _ = operators.sort(t, "key", descending=True)
+        np.testing.assert_array_equal(out["key"], [2.0, 2.0, 1.0, 1.0, 1.0])
+        # within each tie run, original input order must survive
+        np.testing.assert_array_equal(out["pos"], [1, 3, 0, 2, 4])
+
+    def test_descending_sort_stable_for_strings(self):
+        t = Table.from_arrays(
+            "t",
+            {
+                "key": np.array(["b", "a", "b", "a"]),
+                "pos": np.arange(4),
+            },
+        )
+        out, _ = operators.sort(t, "key", descending=True)
+        np.testing.assert_array_equal(out["pos"], [0, 2, 1, 3])
+
     def test_limit_truncates(self, fact):
         out, stats = operators.limit(fact, 2)
         assert out.num_rows == 2

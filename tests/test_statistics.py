@@ -137,3 +137,51 @@ class TestPlanIntegration:
         assert informed.steps[-1].estimated_cost == pytest.approx(
             surviving, rel=0.15
         )
+
+
+class TestConcurrentHistogramAccess:
+    def test_threaded_selectivity_under_concurrent_ingest(self):
+        """Regression: the histogram cache dict was read and rebuilt
+        unlocked on the concurrent query path; hammer it from many
+        threads while appends keep invalidating the cache."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        rng = np.random.default_rng(77)
+        table = Table.from_arrays(
+            "hot", {"x": rng.normal(50, 10, 2_000), "y": rng.uniform(0, 100, 2_000)}
+        )
+        stats = TableStatistics(table, bins=16)
+        predicates = [
+            Between("x", 40, 60),
+            Comparison("y", "<", 30.0),
+            And([Between("x", 30, 70), Comparison("y", ">", 10.0)]),
+        ]
+        stop = False
+        errors: list[Exception] = []
+
+        def reader() -> None:
+            while not stop:
+                try:
+                    for predicate in predicates:
+                        value = stats.selectivity(predicate)
+                        assert 0.0 <= value <= 1.0
+                except Exception as exc:  # pragma: no cover - regression net
+                    errors.append(exc)
+                    return
+
+        def writer() -> None:
+            for _ in range(60):
+                table.append_batch(
+                    {
+                        "x": rng.normal(50, 10, 50),
+                        "y": rng.uniform(0, 100, 50),
+                    }
+                )
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [pool.submit(reader) for _ in range(5)]
+            pool.submit(writer).result()
+            stop = True
+            for future in futures:
+                future.result()
+        assert not errors

@@ -1,0 +1,295 @@
+"""Tests for block storage, zone maps, and pruned/parallel selection.
+
+The contract under test: a zone-map pruned scan — serial or
+morsel-parallel — returns *exactly* the indices of a full scan, while
+charging only the rows of blocks the predicate could possibly match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnstore import operators
+from repro.columnstore.column import Column, Zone
+from repro.columnstore.expressions import (
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    RadialPredicate,
+    TruePredicate,
+)
+from repro.columnstore.plan import estimate_cost
+from repro.columnstore.table import Table
+from repro.util.concurrency import MorselPool
+
+
+def blocked_table(n: int = 96, block_size: int = 16, seed: int = 5) -> Table:
+    """A small table with many blocks; x is sorted so zones are tight."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 100.0, n))
+    y = rng.uniform(-10.0, 10.0, n)
+    return Table(
+        "blocked",
+        [
+            Column("x", "float64", x, block_size=block_size),
+            Column("y", "float64", y, block_size=block_size),
+        ],
+    )
+
+
+class TestColumnZones:
+    def test_zones_track_extend(self):
+        col = Column("v", "float64", block_size=4)
+        col.extend([1.0, 5.0, 3.0, 2.0, 10.0, 7.0])
+        assert col.num_blocks == 2
+        assert col.zone(0) == Zone(1.0, 5.0)
+        assert col.zone(1) == Zone(7.0, 10.0)
+
+    def test_zones_track_single_appends(self):
+        col = Column("v", "int64", block_size=2)
+        for v in (4, -1, 9):
+            col.append(v)
+        assert col.zone(0) == Zone(-1, 4)
+        assert col.zone(1) == Zone(9, 9)
+
+    def test_incremental_merge_within_partial_block(self):
+        col = Column("v", "float64", block_size=8)
+        col.extend([5.0, 6.0])
+        col.extend([1.0, 9.0])
+        assert col.zone(0) == Zone(1.0, 9.0)
+
+    def test_nan_sets_flag_without_poisoning_bounds(self):
+        col = Column("v", "float64", block_size=4)
+        col.extend([1.0, np.nan, 3.0])
+        zone = col.zone(0)
+        assert zone.has_nan
+        assert zone.lo == 1.0 and zone.hi == 3.0
+
+    def test_all_nan_block_is_empty_zone(self):
+        col = Column("v", "float64", block_size=2)
+        col.extend([np.nan, np.nan])
+        zone = col.zone(0)
+        assert zone.empty and zone.has_nan
+
+    def test_string_columns_keep_no_zones(self):
+        col = Column("s", "U8", ["a", "b"], block_size=2)
+        assert not col.tracks_zones
+        assert col.zone(0) is None
+
+    def test_block_index_out_of_range(self):
+        col = Column("v", "float64", [1.0], block_size=4)
+        with pytest.raises(IndexError):
+            col.zone(1)
+
+    def test_zone_fold_is_lazy_and_incremental(self):
+        col = Column("v", "float64", block_size=4)
+        col.extend([1.0, 5.0])
+        assert col._zone_rows == 0  # nothing folded until asked
+        assert col.zone(0) == Zone(1.0, 5.0)
+        assert col._zone_rows == 2
+        col.extend([0.5, 9.0, 2.0])  # crosses into a second block
+        assert col._zone_rows == 2  # still lazy
+        assert col.zone(0) == Zone(0.5, 9.0)
+        assert col.zone(1) == Zone(2.0, 2.0)
+        assert col._zone_rows == 5
+
+    def test_take_and_filter_preserve_block_size(self):
+        col = Column("v", "float64", np.arange(10.0), block_size=4)
+        assert col.take(np.array([1, 2])).block_size == 4
+        assert col.filter(np.arange(10) % 2 == 0).block_size == 4
+
+
+class TestTableBlocks:
+    def test_common_block_grid(self):
+        table = blocked_table(n=40, block_size=8)
+        assert table.block_size == 8
+        assert table.num_blocks == 5
+
+    def test_mismatched_block_sizes_disable_pruning(self):
+        table = Table(
+            "mixed",
+            [
+                Column("a", "float64", [1.0, 2.0], block_size=2),
+                Column("b", "float64", [1.0, 2.0], block_size=4),
+            ],
+        )
+        assert table.block_size is None
+        runs, scanned, _, pruned = operators.scan_plan(
+            table, Comparison("a", ">", 100.0)
+        )
+        assert runs == [(0, 2)] and scanned == 2 and pruned == 0
+
+    def test_block_zones_skips_zoneless_columns(self):
+        table = Table(
+            "t",
+            [
+                Column("num", "float64", [1.0, 2.0], block_size=2),
+                Column("txt", "U4", ["a", "b"], block_size=2),
+            ],
+        )
+        zones = table.block_zones(0, ["num", "txt"])
+        assert set(zones) == {"num"}
+
+
+class TestPrune:
+    def zone(self, lo, hi, has_nan=False):
+        return {"x": Zone(lo, hi, has_nan)}
+
+    def test_comparison_all_ops(self):
+        zones = self.zone(10.0, 20.0)
+        assert Comparison("x", "<", 10.0).prune(zones)
+        assert not Comparison("x", "<", 10.5).prune(zones)
+        assert Comparison("x", "<=", 9.9).prune(zones)
+        assert Comparison("x", ">", 20.0).prune(zones)
+        assert Comparison("x", ">=", 20.5).prune(zones)
+        assert Comparison("x", "==", 21.0).prune(zones)
+        assert not Comparison("x", "==", 15.0).prune(zones)
+        assert not Comparison("x", "!=", 15.0).prune(zones)
+
+    def test_not_equal_prunes_only_constant_blocks(self):
+        assert Comparison("x", "!=", 7.0).prune(self.zone(7.0, 7.0))
+        assert not Comparison("x", "!=", 7.0).prune(
+            self.zone(7.0, 7.0, has_nan=True)
+        )
+
+    def test_all_nan_block_prunes_comparisons_but_not_ne(self):
+        empty = self.zone(np.inf, -np.inf, has_nan=True)
+        assert Comparison("x", "<", 5.0).prune(empty)
+        assert Comparison("x", "==", 5.0).prune(empty)
+        assert not Comparison("x", "!=", 5.0).prune(empty)
+
+    def test_between_and_inset(self):
+        zones = self.zone(10.0, 20.0)
+        assert Between("x", 21.0, 30.0).prune(zones)
+        assert Between("x", 0.0, 9.0).prune(zones)
+        assert not Between("x", 15.0, 30.0).prune(zones)
+        assert InSet("x", [1.0, 30.0]).prune(zones)
+        assert not InSet("x", [1.0, 12.0]).prune(zones)
+        assert not InSet("x", ["label"]).prune(zones)
+
+    def test_radial_uses_bounding_box(self):
+        zones = {"x": Zone(0.0, 1.0), "y": Zone(0.0, 1.0)}
+        assert RadialPredicate("x", "y", 5.0, 0.5, 1.0).prune(zones)
+        assert RadialPredicate("x", "y", 0.5, 5.0, 1.0).prune(zones)
+        assert not RadialPredicate("x", "y", 1.5, 0.5, 1.0).prune(zones)
+
+    def test_boolean_composition(self):
+        zones = self.zone(10.0, 20.0)
+        hit = Between("x", 15.0, 16.0)
+        miss = Between("x", 30.0, 40.0)
+        assert And([hit, miss]).prune(zones)
+        assert not And([hit, hit]).prune(zones)
+        assert Or([miss, miss]).prune(zones)
+        assert not Or([hit, miss]).prune(zones)
+        assert not Not(miss).prune(zones)  # conservative
+        assert not TruePredicate().prune(zones)
+
+    def test_missing_zone_never_prunes(self):
+        assert not Comparison("other", ">", 1.0).prune(self.zone(0.0, 1.0))
+        assert not Between("other", 5.0, 6.0).prune(self.zone(0.0, 1.0))
+
+
+class TestPrunedSelect:
+    def test_selective_scan_charges_fewer_tuples(self):
+        table = blocked_table(n=96, block_size=16)
+        lo, hi = 20.0, 25.0
+        indices, stats = operators.select(table, Between("x", lo, hi))
+        full = np.flatnonzero((table["x"] >= lo) & (table["x"] <= hi))
+        np.testing.assert_array_equal(indices, full)
+        assert stats.tuples_in < table.num_rows
+        assert stats.blocks_pruned > 0
+        assert stats.blocks_scanned + stats.blocks_pruned == table.num_blocks
+
+    def test_impossible_predicate_scans_nothing(self):
+        table = blocked_table()
+        indices, stats = operators.select(table, Between("x", 500.0, 600.0))
+        assert indices.shape[0] == 0
+        assert stats.tuples_in == 0
+        assert stats.blocks_pruned == table.num_blocks
+
+    def test_true_predicate_scans_everything(self):
+        table = blocked_table()
+        indices, stats = operators.select(table, TruePredicate())
+        assert indices.shape[0] == table.num_rows
+        assert stats.tuples_in == table.num_rows
+
+    def test_parallel_path_identical_to_serial(self):
+        table = blocked_table(n=256, block_size=16)
+        predicate = Or(
+            [Between("x", 10.0, 30.0), Between("x", 70.0, 80.0)]
+        )
+        serial, serial_stats = operators.select(table, predicate)
+        pool = MorselPool(max_workers=4)
+        try:
+            parallel, parallel_stats = operators.select(
+                table, predicate, pool=pool, parallel_min_rows=0
+            )
+        finally:
+            pool.shutdown()
+        np.testing.assert_array_equal(serial, parallel)
+        assert serial.tobytes() == parallel.tobytes()
+        assert serial_stats.tuples_in == parallel_stats.tuples_in
+
+    def test_pruning_equivalence_random_predicates(self):
+        """Property: pruned and unpruned selection agree exactly."""
+        rng = np.random.default_rng(314)
+        n = 400
+        x = np.sort(rng.uniform(0.0, 100.0, n))
+        y = rng.uniform(-50.0, 50.0, n)
+        pruned_table = Table(
+            "p",
+            [
+                Column("x", "float64", x, block_size=32),
+                Column("y", "float64", y, block_size=32),
+            ],
+        )
+        flat_table = Table(
+            "f",
+            [
+                Column("x", "float64", x, block_size=n),
+                Column("y", "float64", y, block_size=n),
+            ],
+        )
+
+        def random_predicate():
+            kind = rng.integers(0, 5)
+            column = "x" if rng.integers(0, 2) else "y"
+            a, b = sorted(rng.uniform(-120.0, 220.0, 2))
+            if kind == 0:
+                return Between(column, a, b)
+            if kind == 1:
+                op = ["<", "<=", ">", ">=", "==", "!="][rng.integers(0, 6)]
+                return Comparison(column, op, float(a))
+            if kind == 2:
+                return RadialPredicate(
+                    "x", "y", float(a), float(b), float(rng.uniform(0, 30))
+                )
+            if kind == 3:
+                return And([random_predicate(), random_predicate()])
+            return Or([random_predicate(), random_predicate()])
+
+        for _ in range(200):
+            predicate = random_predicate()
+            pruned, pruned_stats = operators.select(pruned_table, predicate)
+            flat, _ = operators.select(flat_table, predicate)
+            np.testing.assert_array_equal(pruned, flat)
+            assert pruned_stats.tuples_in <= n
+
+    def test_estimate_matches_pruned_scan_cost(self):
+        from repro.columnstore.catalog import Catalog
+        from repro.columnstore.query import Query
+
+        table = blocked_table(n=96, block_size=16)
+        catalog = Catalog()
+        catalog.add_table(table)
+        predicate = Between("x", 20.0, 25.0)
+        estimate = estimate_cost(
+            Query(table="blocked", predicate=predicate), catalog
+        )
+        _, stats = operators.select(table, predicate)
+        assert estimate.steps[0].estimated_cost == stats.tuples_in
+        assert "pruned" in estimate.steps[0].detail
