@@ -2,16 +2,29 @@
 moving to more detailed layers, "ultimately ... the base columns for a
 zero error margin."
 
-Sweep the error target from loose to zero and print, per target, the
-layers visited, total cost, and achieved error.  Shape checks: cost is
-non-decreasing as the target tightens; every met target is actually
-met; target 0 lands on the base table.
+Two parts:
+
+* the pytest benchmark (``pytest benchmarks/bench_escalation.py -q -s``)
+  sweeps the error target from loose to zero and checks the ladder's
+  shape: cost non-decreasing, targets met, zero lands on base;
+* the standalone **delta-escalation** benchmark
+  (``python benchmarks/bench_escalation.py [--smoke]``) pins the
+  incremental-ladder claims on a *nested* hierarchy ("each less
+  detailed impression is derived from a previous more detailed one",
+  §3.1):
+
+  (a) a zero-error contract that climbs ≥2 rungs charges **≥2x fewer
+      tuples** with delta escalation than the from-scratch ladder,
+      with byte-identical exact answers and numerically identical
+      per-rung estimates;
+  (b) under the same time budget the delta ladder reaches a **deeper
+      rung** — the exact base answer — where the from-scratch ladder
+      cannot afford it.
 """
 
 import numpy as np
 import pytest
 
-from repro.bench.report import print_series
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import RadialPredicate
 from repro.core.bounded import QualityContract
@@ -70,3 +83,187 @@ def test_escalation_ladder(benchmark, medium_context):
     assert achieved[-1] == 0.0
     # loose targets stay on small layers (orders of magnitude below base)
     assert final_rows[0] <= base_rows / 50
+
+
+# ======================================================================
+# standalone delta-escalation benchmark (CI: --smoke)
+# ======================================================================
+def _build_nested(n: int, layer_fracs, seed: int = 20260729):
+    """A fact table plus a *nested* uniform ladder over it."""
+    from repro.columnstore.catalog import Catalog
+    from repro.columnstore.column import Column
+    from repro.columnstore.table import Table
+    from repro.core.maintenance import rebuild_from_base, refresh_hierarchy
+    from repro.core.policy import UniformPolicy, build_hierarchy
+
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "PhotoObjAll",
+            [
+                Column("ra", "float64", rng.uniform(120.0, 240.0, n)),
+                Column("dec", "float64", rng.uniform(-5.0, 25.0, n)),
+                Column("flux", "float64", rng.lognormal(1.0, 0.4, n)),
+                Column("band", "int64", rng.integers(0, 5, n)),
+            ],
+        )
+    )
+    base = catalog.table("PhotoObjAll")
+    sizes = tuple(int(frac * n) for frac in layer_fracs)
+    hierarchy = build_hierarchy(
+        "PhotoObjAll", UniformPolicy(layer_sizes=sizes), rng=seed + 1
+    )
+    rebuild_from_base(hierarchy, base)
+    refresh_hierarchy(hierarchy, base)  # derive each layer from below
+    assert hierarchy.is_nested()
+    return catalog, base, hierarchy, rng
+
+
+def _processors(catalog, hierarchy):
+    from repro.core.bounded import BoundedQueryProcessor
+
+    return (
+        BoundedQueryProcessor(catalog, hierarchy),
+        BoundedQueryProcessor(catalog, hierarchy, delta_escalation=False),
+    )
+
+
+def _assert_identical(delta_outcome, scratch_outcome) -> None:
+    """Delta answers must equal from-scratch answers, rung for rung."""
+    assert len(delta_outcome.attempts) == len(scratch_outcome.attempts)
+    for mine, theirs in zip(delta_outcome.attempts, scratch_outcome.attempts):
+        assert mine.source == theirs.source
+        assert mine.relative_error == theirs.relative_error, (
+            f"{mine.source}: {mine.relative_error} vs {theirs.relative_error}"
+        )
+    a, b = delta_outcome.result, scratch_outcome.result
+    assert a.exact == b.exact
+    if a.estimates is not None:
+        for name, estimate in a.estimates.items():
+            assert estimate.value == b.estimates[name].value
+            assert estimate.se == b.estimates[name].se
+    if a.groups is not None:
+        for name in a.groups.column_names:
+            assert (
+                a.groups[name].tobytes() == b.groups[name].tobytes()
+            ), f"group column {name!r} differs"
+
+
+def run_delta_claim(catalog, base, hierarchy, rng, n_queries: int) -> None:
+    """Claim (a): ≥2x fewer tuples charged on ≥2-rung climbs."""
+    delta, scratch = _processors(catalog, hierarchy)
+    contract = QualityContract(max_relative_error=0.0)
+    radius = 2.0
+    queries = []
+    for _ in range(n_queries):
+        predicate = RadialPredicate(
+            "ra",
+            "dec",
+            float(rng.uniform(125.0, 235.0)),
+            float(rng.uniform(0.0, 20.0)),
+            radius,
+        )
+        queries.append(
+            Query(
+                table="PhotoObjAll",
+                predicate=predicate,
+                aggregates=[AggregateSpec("count"), AggregateSpec("avg", "flux")],
+            )
+        )
+    # one grouped query: the fold must merge per-group states too
+    queries.append(
+        Query(
+            table="PhotoObjAll",
+            predicate=RadialPredicate("ra", "dec", 180.0, 10.0, 2.0 * radius),
+            aggregates=[AggregateSpec("sum", "flux")],
+            group_by=("band",),
+        )
+    )
+    ratios = []
+    rung_counts = set()
+    print(f"== E5a: zero-error climbs over {base.num_rows} rows ==")
+    for query in queries:
+        delta_ctx, scratch_ctx = delta.new_context(), scratch.new_context()
+        delta_outcome = delta.execute(query, contract, context=delta_ctx)
+        scratch_outcome = scratch.execute(query, contract, context=scratch_ctx)
+        _assert_identical(delta_outcome, scratch_outcome)
+        assert delta_outcome.escalations >= 2, "must climb ≥2 rungs"
+        assert delta_outcome.result.exact
+        rung_counts.add(len(delta_outcome.attempts))
+        ratios.append(scratch_ctx.spent / delta_ctx.spent)
+    ratios = np.asarray(ratios)
+    print(
+        f"  tuples charged, scratch/delta: mean {ratios.mean():.2f}x "
+        f"min {ratios.min():.2f}x max {ratios.max():.2f}x "
+        f"({len(queries)} queries, {sorted(rung_counts)} rungs per climb)"
+    )
+    assert ratios.min() >= 2.0, (
+        f"delta escalation won only {ratios.min():.2f}x; need ≥2x"
+    )
+    print("  answers identical to the from-scratch ladder on every query ✓")
+
+
+def run_budget_claim(catalog, base, hierarchy, rng) -> None:
+    """Claim (b): same budget, the delta ladder reaches the exact rung."""
+    delta, scratch = _processors(catalog, hierarchy)
+    query = Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", 180.0, 10.0, 3.0),
+        aggregates=[AggregateSpec("avg", "flux")],
+    )
+    budget = 1.15 * base.num_rows
+    contract = QualityContract(max_relative_error=0.0, time_budget=budget)
+    delta_outcome = delta.execute(query, contract)
+    scratch_outcome = scratch.execute(query, contract)
+    print(f"== E5b: zero-error contract under budget {budget:g} ==")
+    for label, outcome in (("delta", delta_outcome), ("scratch", scratch_outcome)):
+        print(
+            f"  {label:>7}: {len(outcome.attempts)} rung(s), "
+            f"achieved error {outcome.achieved_error:.3g}, "
+            f"cost {outcome.total_cost:g}, "
+            f"quality {'met' if outcome.met_quality else 'MISSED'}"
+        )
+    assert delta_outcome.met_quality and delta_outcome.result.exact, (
+        "the delta ladder must afford the exact base rung"
+    )
+    assert not scratch_outcome.met_quality, (
+        "the from-scratch ladder should not afford the base rung here"
+    )
+    assert len(delta_outcome.attempts) > len(scratch_outcome.attempts)
+    assert delta_outcome.total_cost <= budget
+    print("  delta ladder reached the exact answer; scratch could not ✓")
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI: same claims, seconds not minutes",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        n, n_queries = 30_000, 4
+    else:
+        n, n_queries = 200_000, 12
+    layer_fracs = (0.64, 0.32, 0.16)
+    catalog, base, hierarchy, rng = _build_nested(n, layer_fracs)
+    print(
+        f"delta-escalation benchmark: n={n} layers="
+        f"{[imp.size for imp in hierarchy.layers]} "
+        f"({'smoke' if args.smoke else 'full'})"
+    )
+    print(
+        f"  escalation deltas (rows each rung adds): "
+        f"{hierarchy.escalation_deltas()}"
+    )
+    run_delta_claim(catalog, base, hierarchy, rng, n_queries)
+    run_budget_claim(catalog, base, hierarchy, rng)
+    print("all delta-escalation claims hold ✓")
+
+
+if __name__ == "__main__":
+    main()

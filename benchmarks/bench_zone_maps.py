@@ -141,7 +141,13 @@ def run_budget_claim(pruned_catalog, flat_catalog, rng, layer_sizes):
             "PhotoObjAll", UniformPolicy(layer_sizes=layer_sizes), rng=7
         )
         rebuild_from_base(hierarchy, base)
-        processor = BoundedQueryProcessor(catalog, hierarchy)
+        # from-scratch ladders isolate the zone-map effect: with delta
+        # escalation on, even the flat ladder's base rung becomes
+        # affordable (its complement scan is what bench_escalation.py
+        # measures), which would mask the pruning win this claim pins.
+        processor = BoundedQueryProcessor(
+            catalog, hierarchy, delta_escalation=False
+        )
         outcomes[label] = processor.execute(
             query,
             QualityContract(max_relative_error=0.0, time_budget=budget),

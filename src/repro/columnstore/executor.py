@@ -175,6 +175,41 @@ class Executor:
         return result
 
     # ------------------------------------------------------------------
+    def select_indices(
+        self,
+        source: Table,
+        predicate,
+        context: ExecutionContext,
+        recycle: bool = True,
+    ) -> tuple[np.ndarray, OperatorStats, bool]:
+        """Selection indices over ``source`` with recycling + charging.
+
+        The shared scan primitive of both execution paths: the plain
+        query path materialises the result, while the bounded
+        processor's delta-escalation path feeds it rung deltas and
+        keeps the (small) index vectors.  Returns ``(indices, stats,
+        recycled)``; only non-recycled scans charge the context.
+
+        Pass ``recycle=False`` for ephemeral tables whose names and
+        versions repeat across generations (impression deltas and
+        complements): the recycler's ``(name, version, fingerprint)``
+        key cannot tell such generations apart, so caching them would
+        serve stale index vectors after sampler churn.
+        """
+        if recycle and self.recycler is not None:
+            cached = self.recycler.lookup(source, predicate)
+            if cached is not None:
+                return (
+                    cached,
+                    OperatorStats("select(recycled)", 0, cached.shape[0]),
+                    True,
+                )
+        indices, op = operators.select(source, predicate, pool=self.scan_pool)
+        context.charge(op.cost)
+        if recycle and self.recycler is not None:
+            self.recycler.store(source, predicate, indices)
+        return indices, op, False
+
     def _apply_selection(
         self,
         query: Query,
@@ -182,20 +217,11 @@ class Executor:
         stats: ExecutionStats,
         context: ExecutionContext,
     ) -> Table:
-        indices: Optional[np.ndarray] = None
-        if self.recycler is not None:
-            indices = self.recycler.lookup(source, query.predicate)
-            if indices is not None:
-                stats.recycled = True
-                stats.add(OperatorStats("select(recycled)", 0, indices.shape[0]))
-        if indices is None:
-            indices, op = operators.select(
-                source, query.predicate, pool=self.scan_pool
-            )
-            context.charge(op.cost)
-            stats.add(op)
-            if self.recycler is not None:
-                self.recycler.store(source, query.predicate, indices)
+        indices, op, recycled = self.select_indices(
+            source, query.predicate, context
+        )
+        stats.recycled = stats.recycled or recycled
+        stats.add(op)
         return source.take(indices, f"{source.name}#sel")
 
     def _apply_joins(

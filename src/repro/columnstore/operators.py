@@ -246,8 +246,18 @@ def materialise_join(
 # ----------------------------------------------------------------------
 # aggregation
 # ----------------------------------------------------------------------
+def _float_coercible(dtype: np.dtype) -> bool:
+    """Whether values of ``dtype`` coerce losslessly into aggregates."""
+    return bool(np.issubdtype(dtype, np.number)) or dtype == np.bool_
+
+
 def _aggregate_array(fn: str, values: Optional[np.ndarray], count: int) -> float:
-    """Compute one ungrouped aggregate over ``values``."""
+    """Compute one ungrouped aggregate over ``values``.
+
+    The mergeable counterpart of these semantics is
+    :class:`~repro.columnstore.aggstate.AggState` (delta escalation's
+    fold algebra); property tests pin the two to agree.
+    """
     if fn == "count":
         return float(count)
     assert values is not None
@@ -275,8 +285,12 @@ def aggregate(
     results: Dict[str, float] = {}
     for spec in specs:
         values = table[spec.column] if spec.column is not None else None
-        if values is not None and not np.issubdtype(values.dtype, np.number):
-            if spec.fn not in ("count", "min", "max"):
+        if values is not None and not _float_coercible(values.dtype):
+            # only COUNT is well-defined on non-coercible (string)
+            # columns; MIN and MAX used to slip past this gate and
+            # crash on the float() coercion inside the aggregate
+            # kernel.  Booleans coerce fine and stay allowed.
+            if spec.fn != "count":
                 raise QueryError(
                     f"aggregate {spec.fn!r} needs a numeric column, "
                     f"got {values.dtype} for {spec.column!r}"
@@ -286,6 +300,34 @@ def aggregate(
         )
     stats = OperatorStats("aggregate", table.num_rows, 1)
     return results, stats
+
+
+def factorise_keys(
+    key_arrays: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Factorise row-aligned key columns into dense groups.
+
+    The shared grouping core of :func:`group_aggregate` and
+    :class:`repro.columnstore.aggstate.GroupedAggState`.  Returns
+    ``(first_index, order, boundaries, counts)``: the first input row
+    of each group (groups ordered by combined key code, i.e.
+    lexicographically by key tuple), a stable permutation clustering
+    rows by group, each group's start offset within that permutation,
+    and per-group row counts.
+    """
+    n = key_arrays[0].shape[0] if key_arrays else 0
+    codes = np.zeros(n, dtype=np.int64)
+    for arr in key_arrays:
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        codes = codes * max(uniq.shape[0], 1) + inverse
+    _, first_index, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    n_groups = first_index.shape[0]
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.searchsorted(inverse[order], np.arange(n_groups))
+    counts = np.bincount(inverse, minlength=n_groups)
+    return first_index, order, boundaries, counts
 
 
 def group_aggregate(
@@ -302,31 +344,31 @@ def group_aggregate(
     if not group_by:
         raise QueryError("group_aggregate requires at least one key column")
     key_arrays = [table[k] for k in group_by]
-    codes = np.zeros(table.num_rows, dtype=np.int64)
-    unique_per_key: list[np.ndarray] = []
-    for arr in key_arrays:
-        uniq, inverse = np.unique(arr, return_inverse=True)
-        codes = codes * (uniq.shape[0] if uniq.shape[0] else 1) + inverse
-        unique_per_key.append(uniq)
-    group_codes, first_index, inverse = np.unique(
-        codes, return_index=True, return_inverse=True
-    )
-    n_groups = group_codes.shape[0]
-    order = np.argsort(inverse, kind="stable")
-    boundaries = np.searchsorted(inverse[order], np.arange(n_groups))
-    counts = np.bincount(inverse, minlength=n_groups)
+    first_index, order, boundaries, counts = factorise_keys(key_arrays)
+    n_groups = first_index.shape[0]
 
     columns: list[Column] = []
     for key_name, key_arr in zip(group_by, key_arrays):
         columns.append(Column(key_name, key_arr.dtype, key_arr[first_index]))
     for spec in specs:
-        if spec.fn == "count" and spec.column is None:
+        if spec.fn == "count":
+            # counts come from the factorisation; gathering the value
+            # column (a full permutation of the input) would be pure
+            # waste — but a named column must still exist.
+            if spec.column is not None:
+                table.column(spec.column)
             out = counts.astype(np.float64)
         else:
             values = table[spec.column][order]
-            if spec.fn == "count":
-                out = counts.astype(np.float64)
-            elif spec.fn == "sum":
+            if not _float_coercible(values.dtype):
+                raise QueryError(
+                    f"aggregate {spec.fn!r} needs a numeric column, "
+                    f"got {values.dtype} for {spec.column!r}"
+                )
+            if values.dtype == np.bool_:
+                # bool ufunc.reduceat would OR instead of summing
+                values = values.astype(np.float64)
+            if spec.fn == "sum":
                 out = np.add.reduceat(values, boundaries)
             elif spec.fn == "avg":
                 out = np.add.reduceat(values, boundaries) / counts
@@ -335,13 +377,14 @@ def group_aggregate(
             elif spec.fn == "max":
                 out = np.maximum.reduceat(values, boundaries)
             elif spec.fn in ("var", "std"):
+                # two-pass (centred) variance: the raw-moment form
+                # Σv² − n·mean² cancels catastrophically for large
+                # means and silently clamps to 0.0
                 sums = np.add.reduceat(values, boundaries)
-                sumsq = np.add.reduceat(values * values, boundaries)
                 means = sums / counts
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    var = (sumsq - counts * means * means) / np.maximum(
-                        counts - 1, 1
-                    )
+                centred = values - np.repeat(means, counts)
+                m2 = np.add.reduceat(centred * centred, boundaries)
+                var = m2 / np.maximum(counts - 1, 1)
                 var = np.where(counts > 1, np.maximum(var, 0.0), 0.0)
                 out = np.sqrt(var) if spec.fn == "std" else var
             else:

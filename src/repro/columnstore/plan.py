@@ -60,6 +60,7 @@ def estimate_cost(
     fact_table: Optional[Table] = None,
     selectivity: float = 1.0,
     statistics: Optional["TableStatistics"] = None,
+    scan_rows: Optional[float] = None,
 ) -> PlanEstimate:
     """Estimate the cost of ``query`` over ``fact_table`` (or the base).
 
@@ -77,6 +78,14 @@ def estimate_cost(
     computation the pruned scan itself performs — so the estimate the
     bounded processor's escalation decisions see matches the cheaper
     post-pruning reality exactly.
+
+    ``scan_rows`` prices *delta escalation*: when a rung only scans
+    the rows it adds over the previous one (a nested impression's
+    delta, or "base minus the largest impression consumed"), pass that
+    cardinality and the select step is charged for it alone, while
+    the downstream steps (joins, aggregation, sort) still see the full
+    ``fact_table`` cardinality — they process the cumulative matching
+    rows, not just the delta's.
     """
     if statistics is not None:
         selectivity = float(
@@ -87,11 +96,18 @@ def estimate_cost(
     source = fact_table if fact_table is not None else catalog.table(query.table)
     steps: list[PlanStep] = []
     rows = float(source.num_rows)
-    _, rows_to_scan, _, blocks_pruned = scan_plan(source, query.predicate)
-    detail = f"scan {source.name}"
-    if blocks_pruned:
-        detail += f" ({blocks_pruned} blocks pruned)"
-    steps.append(PlanStep("select", float(rows_to_scan), detail))
+    if scan_rows is not None:
+        if scan_rows < 0:
+            raise ValueError(f"scan_rows must be non-negative, got {scan_rows}")
+        steps.append(
+            PlanStep("select", float(scan_rows), f"scan {source.name} (delta)")
+        )
+    else:
+        _, rows_to_scan, _, blocks_pruned = scan_plan(source, query.predicate)
+        detail = f"scan {source.name}"
+        if blocks_pruned:
+            detail += f" ({blocks_pruned} blocks pruned)"
+        steps.append(PlanStep("select", float(rows_to_scan), detail))
     surviving = rows * selectivity
     for join in query.joins:
         dimension = catalog.table(join.right_table)

@@ -19,24 +19,48 @@ The default mode degrades gracefully — it always returns the best
 answer it could afford, flagging ``met_quality``/``met_budget``.
 ``strict=True`` raises instead (:class:`~repro.errors.QualityBoundError`
 / :class:`~repro.errors.BudgetExceededError`).
+
+**Delta escalation.**  The paper's hierarchies are nested ("each less
+detailed impression is derived from a previous more detailed one",
+§3.1), so a ladder climb used to re-pay for every row the previous
+rung had already scanned.  For foldable queries (aggregates without
+joins) the processor now threads a :class:`~repro.columnstore.aggstate.
+FoldState` up the ladder: each rung scans only ``delta_row_ids(prev)``
+— the rows it adds — folds the matches into the accumulated state,
+and re-weights the whole state with *its own* inclusion probabilities
+so Horvitz–Thompson estimates stay exactly what a from-scratch scan
+would produce.  The final base rung scans "base minus the largest
+impression already consumed" and reconstructs the exact answer in
+base-row order — byte-identical to a full scan.  Cost predictions
+(`affords`) price the delta, so time budgets reach deeper rungs.
+Non-nested rung pairs, row queries, and joins fall back to the
+from-scratch path with unchanged semantics.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.columnstore import operators
+from repro.columnstore.aggstate import FoldState
 from repro.columnstore.catalog import Catalog
-from repro.columnstore.executor import Executor
+from repro.columnstore.column import Column
+from repro.columnstore.executor import ExecutionStats, Executor
+from repro.columnstore.operators import OperatorStats
 from repro.columnstore.plan import estimate_cost
 from repro.columnstore.query import Query
+from repro.columnstore.table import Table
 from repro.core.hierarchy import ImpressionHierarchy
-from repro.core.impression import Impression
+from repro.core.impression import PI_COLUMN, Impression
 from repro.core.quality import EstimatedResult, ImpressionEstimator
 from repro.errors import (
     BudgetExceededError,
     EstimationError,
+    ImpressionError,
     QualityBoundError,
     QueryError,
 )
@@ -86,13 +110,19 @@ class QualityContract:
 
 @dataclass(frozen=True)
 class ExecutionAttempt:
-    """One rung of the escalation ladder, as actually executed."""
+    """One rung of the escalation ladder, as actually executed.
+
+    ``delta_rows`` is the number of rows this attempt actually had to
+    scan (after delta escalation and zone-map pruning); ``None`` on
+    the from-scratch path, where the whole rung is read.
+    """
 
     source: str
     rows: int
     cost: float
     relative_error: float
     satisfied: bool
+    delta_rows: Optional[int] = None
 
 
 @dataclass
@@ -125,7 +155,13 @@ class BoundedResult:
             f"budget={'met' if self.met_budget else 'EXCEEDED'}"
         ]
         lines.extend(
-            f"  [{i}] {a.source}: rows={a.rows} cost={a.cost:g} "
+            f"  [{i}] {a.source}: rows={a.rows} "
+            + (
+                f"scanned={a.delta_rows} (Δ) "
+                if a.delta_rows is not None and a.delta_rows < a.rows
+                else ""
+            )
+            + f"cost={a.cost:g} "
             f"error={a.relative_error:.4g} "
             f"{'✓' if a.satisfied else '✗'}"
             for i, a in enumerate(self.attempts)
@@ -146,6 +182,12 @@ class BoundedQueryProcessor:
         Aggregate observer clock (one per engine or session); each
         query opens its own :class:`ExecutionContext` against it, so
         concurrent executions never see each other's spending.
+    delta_escalation:
+        Whether foldable queries (aggregates without joins) climb the
+        ladder incrementally, paying only for the rows each rung adds
+        over the previous one.  On by default; the from-scratch ladder
+        remains available for comparison (the escalation benchmark
+        pins the two paths' answers against each other).
     """
 
     def __init__(
@@ -153,9 +195,11 @@ class BoundedQueryProcessor:
         catalog: Catalog,
         hierarchy: ImpressionHierarchy,
         clock: Optional[CostClock | WallClock] = None,
+        delta_escalation: bool = True,
     ) -> None:
         self.catalog = catalog
         self.hierarchy = hierarchy
+        self.delta_escalation = delta_escalation
         self.clock = clock if clock is not None else CostClock()
         self.estimator = ImpressionEstimator(catalog, clock=self.clock)
         self._base_executor = Executor(catalog, clock=self.clock)
@@ -249,11 +293,21 @@ class BoundedQueryProcessor:
         )
         ladder.append(None)  # the base table: exact, most expensive
 
+        foldable = self._foldable_enabled(query)
+        # Delta state threaded up the ladder: the matching rows of
+        # everything scanned so far, and the rung whose rows are fully
+        # consumed (the next rung deltas against it).
+        fold: Optional[FoldState] = None
+        consumed: Optional[Impression] = None
+
         attempts: List[ExecutionAttempt] = []
         best: Optional[EstimatedResult] = None
         best_error = float("inf")
         for rung in ladder:
-            cost = self._predicted_cost(query, rung, base)
+            if foldable:
+                cost = self._predicted_rung_cost(query, rung, base, consumed, fold)
+            else:
+                cost = self._predicted_cost(query, rung, base)
             cost_units = self._budget_units(cost, context)
             if attempts and not affords(cost_units):
                 # We already have an answer and the next rung does not
@@ -273,14 +327,44 @@ class BoundedQueryProcessor:
                     continue
             spent_before = context.spent
             charged_before = context.charged_units
+            scanned: Optional[int] = None
             try:
-                result = self._run_rung(
-                    query, rung, contract.confidence, base, context
-                )
+                if foldable:
+                    try:
+                        fold, consumed, stats, op = self._scan_foldable(
+                            query, rung, consumed, fold, base, context
+                        )
+                        scanned = op.tuples_in
+                        result = self._answer_from_fold(
+                            query,
+                            rung,
+                            fold,
+                            stats,
+                            contract.confidence,
+                            base,
+                            context,
+                        )
+                        result.stats.charged = context.spent - spent_before
+                    except ImpressionError:
+                        # live sampler churn invalidated the fold (a
+                        # caller driving ingest concurrently without
+                        # the server's read/write lock): degrade to a
+                        # from-scratch rung and rebuild delta state
+                        # from here instead of failing the query.
+                        fold, consumed, scanned = None, None, None
+                        result = self._run_rung(
+                            query, rung, contract.confidence, base, context
+                        )
+                else:
+                    result = self._run_rung(
+                        query, rung, contract.confidence, base, context
+                    )
             except EstimationError:
                 # the rung's sample holds no tuple this query needs
                 # (e.g. AVG over a region the tiny layer missed):
-                # record an unanswerable attempt and escalate.
+                # record an unanswerable attempt and escalate.  On the
+                # foldable path the scan itself has already been folded
+                # in, so later rungs still pay only their delta.
                 attempts.append(
                     ExecutionAttempt(
                         source=base.name if rung is None else rung.name,
@@ -288,6 +372,7 @@ class BoundedQueryProcessor:
                         cost=context.spent - spent_before,
                         relative_error=float("inf"),
                         satisfied=False,
+                        delta_rows=scanned,
                     )
                 )
                 continue
@@ -308,6 +393,7 @@ class BoundedQueryProcessor:
                     cost=context.spent - spent_before,
                     relative_error=attempt_error,
                     satisfied=satisfied,
+                    delta_rows=scanned,
                 )
             )
             if attempt_error < best_error or best is None:
@@ -320,7 +406,20 @@ class BoundedQueryProcessor:
             # region no sample covers, budget blocking the base): the
             # base table is the answer of last resort.
             spent_before = context.spent
-            best = self._run_rung(query, None, contract.confidence, base, context)
+            scanned = None
+            if foldable:
+                fold, consumed, stats, op = self._scan_foldable(
+                    query, None, consumed, fold, base, context
+                )
+                scanned = op.tuples_in
+                best = self._answer_from_fold(
+                    query, None, fold, stats, contract.confidence, base, context
+                )
+                best.stats.charged = context.spent - spent_before
+            else:
+                best = self._run_rung(
+                    query, None, contract.confidence, base, context
+                )
             best_error = best.worst_relative_error
             attempts.append(
                 ExecutionAttempt(
@@ -330,6 +429,7 @@ class BoundedQueryProcessor:
                     relative_error=best_error,
                     satisfied=contract.max_relative_error is None
                     or best_error <= contract.max_relative_error,
+                    delta_rows=scanned,
                 )
             )
         call_spent = context.spent - entry_spent
@@ -360,6 +460,242 @@ class BoundedQueryProcessor:
             return estimate_cost(query, self.catalog).total_cost
         fact = rung.materialise(base)
         return estimate_cost(query, self.catalog, fact_table=fact).total_cost
+
+    def _predicted_rung_cost(
+        self,
+        query: Query,
+        rung: Optional[Impression],
+        base,
+        consumed: Optional[Impression],
+        fold: Optional[FoldState],
+    ) -> float:
+        """Predict what escalating to ``rung`` actually pays.
+
+        With a fold in hand a nested rung only scans its delta, so
+        ``affords()`` must gate on the delta's scan cost, not the whole
+        rung's — that is what lets time budgets climb deeper.  An
+        impression rung's delta pays its (pruned) delta scan only; the
+        estimator's population arithmetic is uncharged, exactly as on
+        the from-scratch path.  The base rung pays the complement scan
+        plus the exact aggregation, whose input the fold's *observed*
+        selectivity predicts far better than the planner's default.
+        Falls back to the from-scratch prediction when no state is
+        threaded yet or the rungs are not nested.
+        """
+        if consumed is None or fold is None:
+            return self._predicted_cost(query, rung, base)
+        if rung is None:
+            # cardinality-only: predicting the exact rung must not
+            # materialise the complement (affords() may reject it);
+            # the un-pruned complement size is a safe upper bound on
+            # the scan, and the fold's observed selectivity prices the
+            # downstream aggregation far better than the default.
+            complement_rows = float(max(base.num_rows - consumed.size, 0))
+            selectivity = min(fold.matched / max(consumed.size, 1), 1.0)
+            return estimate_cost(
+                query,
+                self.catalog,
+                selectivity=selectivity,
+                scan_rows=complement_rows,
+            ).total_cost
+        delta_ids = rung.delta_row_ids(consumed)
+        if delta_ids is None:
+            return self._predicted_cost(query, rung, base)
+        # the estimator charges an impression rung only its scan, and
+        # the delta's cardinality bounds that from above — no need to
+        # materialise the delta table just to consider the rung
+        return float(delta_ids.shape[0])
+
+    # ------------------------------------------------------------------
+    # delta escalation (the foldable path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _foldable(query: Query) -> bool:
+        """Whether the ladder can thread partial state for this query.
+
+        Aggregates (grouped or not) fold; row queries and joins do not
+        — their outputs are not mergeable states — and run from
+        scratch per rung exactly as before.
+        """
+        return bool(query.aggregates) and not query.joins
+
+    def _foldable_enabled(self, query: Query) -> bool:
+        return self.delta_escalation and self._foldable(query)
+
+    @staticmethod
+    def _fold_columns(query: Query) -> List[str]:
+        """Fact columns the fold must carry: aggregate inputs + keys."""
+        names = {
+            spec.column for spec in query.aggregates if spec.column is not None
+        }
+        names.update(query.group_by)
+        return sorted(names)
+
+    def _scan_foldable(
+        self,
+        query: Query,
+        rung: Optional[Impression],
+        consumed: Optional[Impression],
+        fold: Optional[FoldState],
+        base,
+        context: ExecutionContext,
+    ) -> Tuple[FoldState, Optional[Impression], ExecutionStats, OperatorStats]:
+        """Scan the rows ``rung`` adds and fold their matches in.
+
+        Returns ``(fold, consumed, stats, select_op)`` where ``fold``
+        covers everything scanned so far and ``consumed`` is the rung
+        the *next* step should delta against.  A rung that is not a
+        superset of ``consumed`` resets the fold and is scanned from
+        scratch (identical results, no saving).
+        """
+        needed = self._fold_columns(query)
+        ids: Optional[np.ndarray]
+        if rung is None:
+            if consumed is not None and fold is not None:
+                # one atomic (ids, table) pair: ids from a different
+                # sampler state than the table would mis-map matches
+                ids, scan_table = consumed.materialise_complement(base)
+            else:
+                ids = None  # no state yet: scan the base itself
+                scan_table = base
+            next_consumed = consumed
+            source, source_rows = base.name, base.num_rows
+        else:
+            pair = (
+                rung.materialise_delta(base, consumed)
+                if consumed is not None and fold is not None
+                else None
+            )
+            if pair is not None:
+                ids, scan_table = pair
+            else:
+                fold = None  # not nested: rebuild the state from scratch
+                ids = rung.row_ids
+                scan_table = rung.materialise(base)
+            next_consumed = rung
+            source, source_rows = rung.name, rung.size
+        # the ephemeral delta/complement tables reuse names across
+        # sampler generations, so they must never enter a recycler
+        indices, op, _ = self._base_executor.select_indices(
+            scan_table, query.predicate, context, recycle=rung is None and ids is None
+        )
+        stats = ExecutionStats(source=source, source_rows=source_rows)
+        stats.add(op)
+        matched_ids = (
+            indices
+            if ids is None
+            else np.asarray(ids, dtype=np.int64)[indices]
+        )
+        columns = {name: scan_table[name][indices] for name in needed}
+        # scanned_rows is the charged quantity: rows the scan actually
+        # read (post zone-map pruning), not the candidate delta size
+        delta_fold = FoldState.from_scan(
+            matched_ids, columns, scanned_rows=op.tuples_in
+        )
+        fold = delta_fold if fold is None else fold.fold(delta_fold)
+        return fold, next_consumed, stats, op
+
+    def _answer_from_fold(
+        self,
+        query: Query,
+        rung: Optional[Impression],
+        fold: FoldState,
+        stats: ExecutionStats,
+        confidence: float,
+        base,
+        context: ExecutionContext,
+    ) -> EstimatedResult:
+        """Turn the accumulated fold into this rung's answer.
+
+        For an impression rung the fold is re-ordered to the rung's
+        scan order and re-weighted with the rung's own inclusion
+        probabilities, then handed to the standard estimator — the
+        result is exactly what a from-scratch scan of the rung would
+        have produced.  For the base rung the fold already *is* the
+        full matching row set, reconstructed in base order for a
+        byte-identical exact answer.
+        """
+        if rung is None:
+            return self._exact_from_fold(
+                query, fold, stats, confidence, base, context
+            )
+        positions = rung.positions_of(fold.row_ids)
+        order = np.argsort(positions, kind="stable")
+        columns = [
+            Column(name, values.dtype, values[order])
+            for name, values in fold.columns.items()
+        ]
+        pis = rung.inclusion_probabilities()[positions[order]]
+        columns.append(Column(PI_COLUMN, np.float64, pis))
+        working = Table(f"{base.name}§{rung.name}#fold", columns)
+        return self.estimator.estimate_from_working(
+            query, rung, working, stats, confidence
+        )
+
+    def _exact_from_fold(
+        self,
+        query: Query,
+        fold: FoldState,
+        stats: ExecutionStats,
+        confidence: float,
+        base,
+        context: ExecutionContext,
+    ) -> EstimatedResult:
+        """The exact base answer from the fold (aggregates only).
+
+        Mirrors the executor's aggregate finishing exactly — same
+        operators over the same rows in the same (base) order — while
+        having charged only the complement scan.
+        """
+        # the row-id column only exists to give the working table its
+        # row count when no value columns are tracked (e.g. COUNT(*));
+        # pick a name that cannot collide with a tracked fact column
+        rid_name = "_rid"
+        while rid_name in fold.columns:
+            rid_name = "_" + rid_name
+        columns = [Column(rid_name, np.int64, fold.row_ids)]
+        columns.extend(
+            Column(name, values.dtype, values)
+            for name, values in fold.columns.items()
+        )
+        working = Table(f"{base.name}#fold", columns)
+        if query.group_by:
+            result, op = operators.group_aggregate(
+                working, query.group_by, query.aggregates
+            )
+            context.charge(op.cost)
+            stats.add(op)
+            if query.order_by:
+                result, op = operators.sort(
+                    result, query.order_by, query.descending
+                )
+                context.charge(op.cost)
+                stats.add(op)
+            if query.limit is not None:
+                result, op = operators.limit(result, query.limit)
+                context.charge(op.cost)
+                stats.add(op)
+            return EstimatedResult(
+                query=query,
+                source=base.name,
+                stats=stats,
+                groups=result,
+                exact=True,
+            )
+        scalars, op = operators.aggregate(working, query.aggregates)
+        context.charge(op.cost)
+        stats.add(op)
+        estimates: Dict[str, object] = {
+            name: _exact_estimate(value, confidence, base.num_rows)
+            for name, value in scalars.items()
+        }
+        return EstimatedResult(
+            query=query,
+            source=base.name,
+            stats=stats,
+            estimates=estimates,
+            exact=True,
+        )
 
     def _has_smaller_affordable(
         self,

@@ -119,6 +119,38 @@ class ImpressionHierarchy:
         """Sum of layer sizes (the hierarchy's storage footprint)."""
         return sum(impression.size for impression in self._layers)
 
+    # ------------------------------------------------------------------
+    def escalation_deltas(self) -> list[int | None]:
+        """Rows each escalation step *adds*, smallest layer upward.
+
+        Entry ``i`` is the delta between the ``i``-th and ``i+1``-th
+        rung of the escalation order (cheapest first), or ``None`` when
+        the pair is not nested and a from-scratch scan would be needed.
+        The first entry is the smallest layer's own size — escalation
+        always pays for its entry rung in full.  Delta results are
+        cached on the impressions themselves (:meth:`Impression.
+        delta_row_ids`), so this is cheap to call repeatedly.
+        """
+        ladder = list(self.from_smallest())
+        if not ladder:
+            return []
+        deltas: list[int | None] = [ladder[0].size]
+        for prev, nxt in zip(ladder, ladder[1:]):
+            delta = nxt.delta_row_ids(prev)
+            deltas.append(None if delta is None else int(delta.shape[0]))
+        return deltas
+
+    def is_nested(self) -> bool:
+        """Whether every escalation step is a superset of the previous.
+
+        True for ladders maintained by refresh-from-below (the paper's
+        derivation discipline); False when layers were sampled
+        independently, in which case delta escalation falls back to
+        from-scratch scans between impressions (the base rung still
+        benefits — any impression is a subset of its base table).
+        """
+        return all(delta is not None for delta in self.escalation_deltas())
+
     def describe(self) -> str:
         """One line per layer, for examples and logs."""
         lines = [f"hierarchy {self.name} over {self.base_table}:"]

@@ -90,6 +90,14 @@ class Impression:
         # Concurrent readers (server sessions) may race to materialise;
         # the lock makes the cache fill exactly once per version.
         self._materialise_lock = threading.Lock()
+        # Delta-escalation caches: sorted row-id index, per-predecessor
+        # delta row ids/materialisations, and the base-complement rows.
+        # All keys embed the samplers' progress so reservoir churn
+        # invalidates them for free.
+        self._sorted_ids: Optional[tuple] = None
+        self._delta_ids: dict = {}
+        self._delta_tables: dict = {}
+        self._complement: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # statistical metadata
@@ -197,11 +205,202 @@ class Impression:
     def _invalidate(self) -> None:
         self._cached = None
         self._cache_key = None
+        self._sorted_ids = None
+        self._delta_ids = {}
+        self._delta_tables = {}
+        self._complement = None
+
+    # ------------------------------------------------------------------
+    # delta escalation ("each less detailed impression is derived from
+    # a previous more detailed one", paper §3.1)
+    # ------------------------------------------------------------------
+    #: Entries kept per delta cache — ladders are short, but a rung may
+    #: be asked to delta against different predecessors when budgets
+    #: skip intermediate layers, so a single slot would thrash.
+    _DELTA_CACHE_ENTRIES = 8
+
+    def _progress_key(self) -> tuple:
+        """Cache-key component tracking this impression's contents."""
+        return (self.sampler.seen, self.size)
+
+    @classmethod
+    def _cache_put(cls, cache: dict, key, value) -> None:
+        """Insert with FIFO eviction at the per-cache entry bound.
+
+        Callers hold ``_materialise_lock``; the defensive pop keeps a
+        racing eviction (should the lock discipline ever slip) from
+        escalating a cache miss into a query-killing KeyError.
+        """
+        while len(cache) >= cls._DELTA_CACHE_ENTRIES:
+            try:
+                cache.pop(next(iter(cache)), None)
+            except (RuntimeError, StopIteration):
+                break
+        cache[key] = value
+
+    def _sorted_row_ids(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted_ids, argsort)`` of the current contents, cached.
+
+        Reads the cache slot exactly once: a concurrent
+        :meth:`_invalidate` may null it between a check and a re-read,
+        so the stale-but-consistent local is what gets used (worst
+        case: a redundant recompute).
+        """
+        key = self._progress_key()
+        cached = self._sorted_ids
+        if cached is None or cached[0] != key:
+            row_ids = self.row_ids
+            order = np.argsort(row_ids, kind="stable")
+            cached = (key, row_ids[order], order)
+            self._sorted_ids = cached
+        return cached[1], cached[2]
+
+    def positions_of(self, row_ids: np.ndarray) -> np.ndarray:
+        """Positions (reservoir slots) of the given base row ids.
+
+        Every id must be held by this impression; use
+        :meth:`delta_row_ids` to establish containment first.
+        """
+        sorted_ids, order = self._sorted_row_ids()
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        slots = np.searchsorted(sorted_ids, row_ids)
+        if row_ids.size and (
+            slots.max(initial=0) >= sorted_ids.size
+            or not np.array_equal(sorted_ids[slots], row_ids)
+        ):
+            raise ImpressionError(
+                f"impression {self.name!r} does not hold all requested rows"
+            )
+        return order[slots]
+
+    def delta_row_ids(self, prev: "Impression") -> Optional[np.ndarray]:
+        """Rows this impression adds over ``prev``, sorted ascending.
+
+        Returns ``None`` when ``prev`` is **not nested** inside this
+        impression (independent reservoirs, partial overlap) — the
+        caller must then fall back to a from-scratch scan.  Cached per
+        predecessor until either sampler makes progress.
+        """
+        key = (self._progress_key(), prev.name, prev._progress_key())
+        cache = self._delta_ids
+        with self._materialise_lock:
+            if key in cache:
+                return cache[key]
+        mine, _ = self._sorted_row_ids()
+        theirs = np.sort(prev.row_ids)
+        slots = np.searchsorted(mine, theirs)
+        nested = bool(
+            theirs.size == 0
+            or (
+                slots.max(initial=0) < mine.size
+                and np.array_equal(mine[slots], theirs)
+            )
+        )
+        delta = (
+            np.setdiff1d(mine, theirs, assume_unique=True) if nested else None
+        )
+        with self._materialise_lock:
+            self._cache_put(cache, key, delta)
+        return delta
+
+    def materialise_delta(
+        self, base: Table, prev: "Impression"
+    ) -> Optional[tuple[np.ndarray, Table]]:
+        """The rows this impression adds over ``prev``, as a table.
+
+        Returns ``(delta_row_ids, table)`` — one atomic pair, so a
+        caller can never mix ids from one sampler state with a table
+        built from another.  The table is shaped exactly like
+        :meth:`materialise` (same columns, hidden ``_pi`` carrying
+        *this* impression's inclusion probabilities) but holds only
+        the delta rows, so a scan of it charges the escalation ladder
+        for nothing it already paid.  ``None`` when the two
+        impressions are not nested.
+        """
+        key = (
+            base.version,
+            self._progress_key(),
+            prev.name,
+            prev._progress_key(),
+        )
+        cache = self._delta_tables
+        with self._materialise_lock:
+            cached = cache.get(key)
+        if cached is not None:
+            return cached
+        delta = self.delta_row_ids(prev)
+        if delta is None:
+            return None
+        names = (
+            list(self.columns) if self.columns is not None else base.column_names
+        )
+        columns = [base.column(n).take(delta) for n in names]
+        pis = self.inclusion_probabilities()[self.positions_of(delta)]
+        columns.append(Column(PI_COLUMN, np.float64, pis))
+        table = Table(f"{base.name}§{self.name}Δ{prev.name}", columns)
+        pair = (delta, table)
+        with self._materialise_lock:
+            self._cache_put(cache, key, pair)
+        return pair
+
+    def complement_row_ids(self, base: Table) -> np.ndarray:
+        """Base rows this impression has *not* sampled, ascending.
+
+        This is the final rung of a delta ladder: the exact base-table
+        answer only needs "base minus the largest impression already
+        consumed".
+        """
+        key = (base.version, base.num_rows, self._progress_key())
+        cached = self._complement
+        if cached is None or cached[0] != key:
+            mine, _ = self._sorted_row_ids()
+            ids = np.delete(np.arange(base.num_rows, dtype=np.int64), mine)
+            cached = (key, ids, None)
+            self._complement = cached
+        return cached[1]
+
+    def materialise_complement(self, base: Table) -> tuple[np.ndarray, Table]:
+        """The unsampled base rows as ``(row_ids, table)`` (no ``_pi``).
+
+        Returned as one atomic pair like :meth:`materialise_delta`,
+        and restricted to this impression's column subset — any query
+        whose ladder consumed this impression is confined to those
+        columns anyway.  Built lazily: cost *prediction* for the base
+        rung never calls this (it only needs the complement's
+        cardinality), so considering an unaffordable exact rung
+        materialises nothing.
+        """
+        key = (base.version, base.num_rows, self._progress_key())
+        with self._materialise_lock:
+            cached = self._complement
+        if cached is not None and cached[0] == key and cached[2] is not None:
+            return cached[1], cached[2]
+        ids = self.complement_row_ids(base)
+        names = (
+            list(self.columns) if self.columns is not None else base.column_names
+        )
+        table = Table(
+            f"{base.name}∖{self.name}",
+            [base.column(n).take(ids) for n in names],
+        )
+        with self._materialise_lock:
+            self._complement = (key, ids, table)
+        return ids, table
 
     # ------------------------------------------------------------------
     def memory_bytes(self, base: Table) -> int:
-        """Approximate footprint of the materialised impression."""
-        return self.materialise(base).nbytes()
+        """Approximate footprint of the materialised impression.
+
+        Computed analytically from dtype widths × held tuples (plus
+        the hidden ``_pi`` float column), so sizing decisions never
+        force a materialisation.
+        """
+        names = (
+            list(self.columns) if self.columns is not None else base.column_names
+        )
+        row_bytes = sum(base.column(n).dtype.itemsize for n in names)
+        row_bytes += np.dtype(np.float64).itemsize  # the _pi column
+        return int(row_bytes * self.size)
 
     def __repr__(self) -> str:
         return (

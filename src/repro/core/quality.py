@@ -144,11 +144,8 @@ class ImpressionEstimator:
         ``context`` is the per-execution cost meter; all operator
         charges of the sample scan go there.
         """
-        confidence = confidence if confidence is not None else self.confidence
         base = self.catalog.table(query.table)
         imp_table = impression.materialise(base)
-        population = base.num_rows
-        uniform = isinstance(impression.sampler, ReservoirR)
 
         working_query = Query(
             table=query.table,
@@ -162,7 +159,30 @@ class ImpressionEstimator:
         assert working is not None
         stats = worked.stats
         stats.source = impression.name
+        return self.estimate_from_working(
+            query, impression, working, stats, confidence
+        )
 
+    def estimate_from_working(
+        self,
+        query: Query,
+        impression: Impression,
+        working: Table,
+        stats: ExecutionStats,
+        confidence: Optional[float] = None,
+    ) -> EstimatedResult:
+        """Attach error bounds to an already-scanned working set.
+
+        ``working`` holds the predicate-matching sampled rows (with
+        their ``_pi`` column) in the impression's scan order.  This is
+        the entry point of the delta-escalation path, which assembles
+        the working set incrementally — re-weighting rows carried over
+        from previous rungs with *this* impression's inclusion
+        probabilities — instead of re-scanning the whole impression.
+        """
+        confidence = confidence if confidence is not None else self.confidence
+        population = self.catalog.table(query.table).num_rows
+        uniform = isinstance(impression.sampler, ReservoirR)
         if query.is_aggregate and query.group_by:
             return self._grouped(
                 query, impression, working, stats, population, uniform, confidence

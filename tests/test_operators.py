@@ -97,6 +97,40 @@ class TestAggregate:
         result, _ = operators.aggregate(empty, [AggregateSpec("count")])
         assert result["count(*)"] == 0.0
 
+    def test_min_max_on_non_numeric_raise_cleanly(self):
+        """Regression: MIN/MAX slipped past the numeric gate and died
+        with a numpy coercion error inside the kernel; they must raise
+        a clean QueryError while COUNT keeps working."""
+        t = Table.from_arrays(
+            "t", {"label": np.array(["b", "a", "c"], dtype="<U1")}
+        )
+        for fn in ("min", "max"):
+            with pytest.raises(QueryError, match="numeric column"):
+                operators.aggregate(t, [AggregateSpec(fn, "label")])
+        result, _ = operators.aggregate(t, [AggregateSpec("count", "label")])
+        assert result["count(label)"] == 3.0
+
+    def test_boolean_columns_still_aggregate(self):
+        """Booleans coerce to floats losslessly and must keep working
+        through the tightened non-numeric gate."""
+        t = Table.from_arrays(
+            "t",
+            {
+                "g": np.array([0, 0, 1, 1]),
+                "flag": np.array([True, False, True, True]),
+            },
+        )
+        result, _ = operators.aggregate(
+            t, [AggregateSpec("min", "flag"), AggregateSpec("max", "flag")]
+        )
+        assert result["min(flag)"] == 0.0
+        assert result["max(flag)"] == 1.0
+        grouped, _ = operators.group_aggregate(
+            t, ["g"], [AggregateSpec("sum", "flag"), AggregateSpec("min", "flag")]
+        )
+        np.testing.assert_array_equal(grouped["sum(flag)"], [1.0, 2.0])
+        np.testing.assert_array_equal(grouped["min(flag)"], [0.0, 1.0])
+
 
 class TestGroupAggregate:
     def test_counts_and_sums(self, fact):
@@ -130,6 +164,24 @@ class TestGroupAggregate:
             expected = fact["v"][fact["g"] == g].var(ddof=1)
             assert result["var(v)"][g] == pytest.approx(expected)
 
+    def test_var_stable_for_large_means(self):
+        """Regression: the raw-moment grouped variance (Σv² − n·mean²)
+        cancelled catastrophically for large means and clamped to 0.0;
+        the centred two-pass kernel must agree with numpy."""
+        rng = np.random.default_rng(9)
+        v = 1e8 + rng.normal(0.0, 1.0, 10_000)
+        g = rng.integers(0, 3, v.shape[0])
+        t = Table.from_arrays("t", {"g": g, "v": v})
+        result, _ = operators.group_aggregate(
+            t, ["g"], [AggregateSpec("var", "v"), AggregateSpec("std", "v")]
+        )
+        for group in range(3):
+            expected = v[g == group].var(ddof=1)
+            assert result["var(v)"][group] == pytest.approx(expected, rel=1e-6)
+            assert result["std(v)"][group] == pytest.approx(
+                np.sqrt(expected), rel=1e-6
+            )
+
     def test_multi_key_grouping(self):
         t = Table.from_arrays(
             "t",
@@ -152,6 +204,44 @@ class TestGroupAggregate:
         )
         result, _ = operators.group_aggregate(t, ["g"], [AggregateSpec("var", "v")])
         np.testing.assert_array_equal(result["var(v)"], [0.0, 0.0])
+
+    def test_count_with_column_skips_the_gather(self, fact, monkeypatch):
+        """COUNT(col) must not pay for a full permutation gather of a
+        value column it never reads (it equals the group sizes)."""
+        gathers = []
+        original = Table.__getitem__
+
+        def spy(table, name):
+            gathers.append(name)
+            return original(table, name)
+
+        monkeypatch.setattr(Table, "__getitem__", spy)
+        result, _ = operators.group_aggregate(
+            fact, ["g"], [AggregateSpec("count", "v")]
+        )
+        np.testing.assert_array_equal(result["count(v)"], [2.0, 2.0, 2.0])
+        assert "v" not in gathers  # the value column is never read
+
+    def test_count_still_validates_its_column_name(self, fact):
+        """Skipping the gather must not skip name validation: a typo'd
+        COUNT column raises instead of silently returning group sizes."""
+        from repro.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            operators.group_aggregate(
+                fact, ["g"], [AggregateSpec("count", "nope")]
+            )
+
+    def test_non_numeric_group_values_raise_cleanly(self):
+        t = Table.from_arrays(
+            "t",
+            {
+                "g": np.array([0, 0, 1]),
+                "label": np.array(["x", "y", "z"], dtype="<U1"),
+            },
+        )
+        with pytest.raises(QueryError, match="numeric column"):
+            operators.group_aggregate(t, ["g"], [AggregateSpec("sum", "label")])
 
 
 class TestSortLimit:
