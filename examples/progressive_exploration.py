@@ -1,0 +1,99 @@
+"""Progressive answers: watch the ladder climb, stop when satisfied.
+
+Run:  python examples/progressive_exploration.py
+
+SciBORQ's promise is an *anytime* one — the best answer within the
+bound — and every escalation rung produces a statistically valid
+estimate.  ``engine.submit`` exposes that ladder while it climbs:
+
+* iterate the returned :class:`QueryHandle` and each rung arrives as
+  a :class:`ProgressUpdate` (estimate, confidence interval, achieved
+  error, cost spent);
+* **early-cancel** the moment the interval is tight enough for the
+  question at hand — the remaining (most expensive) rungs are never
+  scanned;
+* or let it run and ``result()`` is exactly what blocking
+  ``execute`` would have returned.
+
+This is the exploratory-science loop: a scientist eyeballing a cone
+search does not need the fourth decimal — they need to know *now*
+whether the region is worth a precise pass.
+"""
+
+from repro import AggregateSpec, Contract, Query, RadialPredicate, SciBorq
+from repro.skyserver import build_skyserver, create_skyserver_catalog
+from repro.skyserver.schema import DEC_RANGE, RA_RANGE
+
+
+def main() -> None:
+    engine = SciBorq(
+        create_skyserver_catalog(),
+        interest_attributes={"ra": RA_RANGE, "dec": DEC_RANGE},
+        rng=23,
+    )
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="uniform", layer_sizes=(40_000, 4_000, 400)
+    )
+    build_skyserver(400_000, loader=engine.loader, rng=24)
+
+    query = Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", 205.0, 40.0, 4.0),
+        aggregates=[AggregateSpec("count"), AggregateSpec("avg", "r_mag")],
+    )
+
+    # ------------------------------------------------------------------
+    # 1. stream the whole ladder down to the exact answer
+    # ------------------------------------------------------------------
+    print("=== streaming a zero-error climb, rung by rung ===")
+    handle = engine.submit(query, Contract.within_error(0.0))
+    for update in handle:
+        estimate = update.result.estimates["avg(r_mag)"]
+        low, high = update.result.intervals()["avg(r_mag)"]
+        print(
+            f"  {update.describe()}\n"
+            f"      avg(r_mag) = {estimate.value:.4f}  "
+            f"95% CI [{low:.4f}, {high:.4f}]"
+        )
+    final = handle.result()
+    print(f"  final: exact={final.result.exact}, cost={final.total_cost:g}\n")
+
+    # ------------------------------------------------------------------
+    # 2. early-cancel once the CI is tight enough for our purposes
+    # ------------------------------------------------------------------
+    good_enough = 0.06  # ~6% relative error suffices for triage
+    print(f"=== same climb, cancelling once error < {good_enough:g} ===")
+    handle = engine.submit(query, Contract.within_error(0.0))
+    for update in handle:
+        print(f"  {update.describe()}")
+        if update.best_error < good_enough:
+            outcome = handle.cancel()  # keeps best-so-far, scans no more
+            break
+    else:  # pragma: no cover - tiny skies might satisfy on rung 0
+        outcome = handle.result()
+    print(
+        f"  cancelled after {len(outcome.attempts)} rung(s): "
+        f"error {outcome.achieved_error:.4g} at cost {outcome.total_cost:g} "
+        f"(vs {final.total_cost:g} for the full climb, "
+        f"{final.total_cost / outcome.total_cost:.0f}x more)"
+    )
+    saved = 1.0 - outcome.total_cost / final.total_cost
+    print(f"  {saved:.0%} of the work never happened\n")
+
+    # ------------------------------------------------------------------
+    # 3. progress callbacks (how a UI would subscribe)
+    # ------------------------------------------------------------------
+    print("=== on_progress callbacks ===")
+    ticks: list[str] = []
+    engine.submit(
+        query, Contract.within_error(0.05) & Contract.within_budget(200_000)
+    ).on_progress(
+        lambda update: ticks.append(
+            f"{update.source}@{update.achieved_error:.3g}"
+        )
+    ).result()
+    print("  delivered:", " → ".join(ticks))
+
+
+if __name__ == "__main__":
+    main()

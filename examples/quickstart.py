@@ -8,7 +8,7 @@ during the load), then query with an error bound and watch the engine
 escalate layers until the bound holds.
 """
 
-from repro import AggregateSpec, Query, RadialPredicate, SciBorq
+from repro import AggregateSpec, Contract, Query, RadialPredicate, SciBorq
 from repro.skyserver import build_skyserver, create_skyserver_catalog
 from repro.skyserver.schema import DEC_RANGE, RA_RANGE
 
@@ -39,7 +39,7 @@ def main() -> None:
         predicate=RadialPredicate("ra", "dec", 150.0, 10.0, 4.0),
         aggregates=[AggregateSpec("count"), AggregateSpec("avg", "r_mag")],
     )
-    result = engine.execute(query, max_relative_error=0.05)
+    result = engine.execute(query, Contract.within_error(0.05))
     print("--- bounded execution trace ---")
     print(result.describe())
     print()

@@ -13,7 +13,7 @@ lucky N first tuples".
 
 import numpy as np
 
-from repro import AggregateSpec, Query, SciBorq
+from repro import AggregateSpec, Contract, Query, SciBorq
 from repro.skyserver import (
     WorkloadGenerator,
     build_skyserver,
@@ -68,7 +68,7 @@ def main() -> None:
     # --- phase 3: focal queries are now cheap and tight ---------------
     print("phase 3: a focal cone count with a 5% bound")
     outcome = engine.execute(
-        nearby_count_query(150.0, 10.0, 3.0), max_relative_error=0.05
+        nearby_count_query(150.0, 10.0, 3.0), Contract.within_error(0.05)
     )
     print(outcome.describe())
     estimate = outcome.result.estimates["count(*)"]
@@ -94,7 +94,7 @@ def main() -> None:
             table="Galaxy",
             aggregates=[AggregateSpec("count"), AggregateSpec("avg", "z_est")],
         ),
-        max_relative_error=0.1,
+        Contract.within_error(0.1),
     )
     for name, estimate in galaxy_outcome.result.estimates.items():
         print(f"  {name} = {estimate}")

@@ -20,7 +20,7 @@ substrate:
 
 Quickstart::
 
-    from repro import SciBorq, Query, AggregateSpec, RadialPredicate
+    from repro import SciBorq, Contract, Query, AggregateSpec, RadialPredicate
     from repro.skyserver import create_skyserver_catalog, build_skyserver
     from repro.skyserver.schema import RA_RANGE, DEC_RANGE
 
@@ -34,8 +34,11 @@ Quickstart::
     query = Query(table="PhotoObjAll",
                   predicate=RadialPredicate("ra", "dec", 185.0, 0.0, 3.0),
                   aggregates=[AggregateSpec("count")])
-    result = engine.execute(query, max_relative_error=0.1)
+    result = engine.execute(query, Contract.within_error(0.1))
     print(result.describe())
+
+    for update in engine.submit(query, Contract.within_error(0.0)):
+        print(update.describe())          # one update per ladder rung
 """
 
 from repro.columnstore import (
@@ -60,10 +63,13 @@ from repro.core import (
     BiasedPolicy,
     BoundedQueryProcessor,
     BoundedResult,
+    Contract,
     Impression,
     ImpressionHierarchy,
     LastSeenPolicy,
+    ProgressUpdate,
     QualityContract,
+    QueryHandle,
     SciBorq,
     SciBorqServer,
     Session,
@@ -99,10 +105,13 @@ __all__ = [
     "BiasedPolicy",
     "BoundedQueryProcessor",
     "BoundedResult",
+    "Contract",
     "Impression",
     "ImpressionHierarchy",
     "LastSeenPolicy",
+    "ProgressUpdate",
     "QualityContract",
+    "QueryHandle",
     "SciBorq",
     "SciBorqServer",
     "Session",

@@ -69,7 +69,7 @@ class JoinSpec:
             raise QueryError("join requires a right table name")
 
 
-@dataclass
+@dataclass(frozen=True)
 class Query:
     """A select-project-join-aggregate query over one fact table.
 
@@ -77,6 +77,12 @@ class Query:
     shows in Figure 1: a fact table, a WHERE predicate (often a cone
     search), foreign-key joins to dimension tables, optional grouping
     and aggregation, and an optional LIMIT.
+
+    Frozen and hashable: the recycler, the query log, and the
+    progressive-execution handle registry all key on queries, so a
+    query must never change identity after construction.  The
+    sequence clauses are normalised to tuples on the way in
+    (predicates hash by object identity, as before).
     """
 
     table: str
@@ -96,11 +102,11 @@ class Query:
             raise QueryError(f"limit must be non-negative, got {self.limit}")
         if self.group_by and not self.aggregates:
             raise QueryError("group_by requires at least one aggregate")
-        self.aggregates = tuple(self.aggregates)
-        self.group_by = tuple(self.group_by)
-        self.joins = tuple(self.joins)
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        object.__setattr__(self, "joins", tuple(self.joins))
         if self.select is not None:
-            self.select = tuple(self.select)
+            object.__setattr__(self, "select", tuple(self.select))
 
     # ------------------------------------------------------------------
     @property

@@ -12,8 +12,13 @@
   layer during (incremental) loads.
 * :mod:`repro.core.quality` — population estimates with confidence
   intervals for queries answered from an impression.
+* :mod:`repro.core.contracts` — first-class execution contracts:
+  ``Contract.within_error(...) & Contract.within_budget(...)``.
+* :mod:`repro.core.handle` — query handles: progressive, cancellable
+  executions streaming one :class:`ProgressUpdate` per ladder rung.
 * :mod:`repro.core.bounded` — the bounded query processor: error- and
-  time-bounded execution with layer escalation (paper §3.2).
+  time-bounded execution with layer escalation (paper §3.2); its
+  generator core ``run()`` feeds the handles.
 * :mod:`repro.core.maintenance` — refresh layers from the layer
   below, decay interest, react to drift.
 * :mod:`repro.core.engine` — :class:`SciBorq`, the one-stop facade.
@@ -33,6 +38,8 @@ from repro.core.policy import (
 )
 from repro.core.builder import ImpressionBuilder
 from repro.core.quality import EstimatedResult, ImpressionEstimator
+from repro.core.contracts import Contract
+from repro.core.handle import ProgressUpdate, QueryHandle
 from repro.core.bounded import (
     QualityContract,
     BoundedResult,
@@ -61,6 +68,9 @@ __all__ = [
     "ImpressionBuilder",
     "EstimatedResult",
     "ImpressionEstimator",
+    "Contract",
+    "ProgressUpdate",
+    "QueryHandle",
     "QualityContract",
     "BoundedResult",
     "ExecutionAttempt",

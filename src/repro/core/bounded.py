@@ -35,13 +35,25 @@ base-row order — byte-identical to a full scan.  Cost predictions
 (`affords`) price the delta, so time budgets reach deeper rungs.
 Non-nested rung pairs, row queries, and joins fall back to the
 from-scratch path with unchanged semantics.
+
+**Progressive execution.**  The ladder is a generator at heart:
+:meth:`BoundedQueryProcessor.run` yields one :class:`~repro.core.
+handle.ProgressUpdate` per executed rung — the rung's own answer with
+confidence intervals, finalised from state the escalation decision
+already computed, so streaming charges nothing — and returns the
+final :class:`BoundedResult`.  :meth:`~BoundedQueryProcessor.execute`
+is a thin drain loop over it; ``engine.submit`` wraps it in a
+:class:`~repro.core.handle.QueryHandle` (iterable, cancellable
+between rungs).  Contracts are first-class values now
+(:mod:`repro.core.contracts`); ``QualityContract`` remains as an
+alias.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +66,8 @@ from repro.columnstore.operators import OperatorStats
 from repro.columnstore.plan import estimate_cost
 from repro.columnstore.query import Query
 from repro.columnstore.table import Table
+from repro.core.contracts import Contract
+from repro.core.handle import ProgressUpdate
 from repro.core.hierarchy import ImpressionHierarchy
 from repro.core.impression import PI_COLUMN, Impression
 from repro.core.quality import EstimatedResult, ImpressionEstimator
@@ -66,46 +80,10 @@ from repro.errors import (
 )
 from repro.util.clock import CostClock, ExecutionContext, WallClock
 
-
-@dataclass(frozen=True)
-class QualityContract:
-    """What the user demands of a query's answer.
-
-    Parameters
-    ----------
-    max_relative_error:
-        Upper bound on the worst relative error across the reported
-        estimates (None: no quality requirement).
-    time_budget:
-        Upper bound on execution cost, in the clock's units (cost
-        units for :class:`CostClock`, seconds for wall clocks).
-        None: no time requirement.
-    confidence:
-        Confidence level at which relative errors are assessed.
-    strict:
-        Raise instead of degrading gracefully when a bound cannot be
-        met.
-    """
-
-    max_relative_error: Optional[float] = None
-    time_budget: Optional[float] = None
-    confidence: float = 0.95
-    strict: bool = False
-
-    def __post_init__(self) -> None:
-        if self.max_relative_error is not None and self.max_relative_error < 0:
-            raise QueryError(
-                f"max_relative_error must be non-negative, "
-                f"got {self.max_relative_error}"
-            )
-        if self.time_budget is not None and self.time_budget < 0:
-            raise QueryError(
-                f"time_budget must be non-negative, got {self.time_budget}"
-            )
-        if not 0.0 < self.confidence < 1.0:
-            raise QueryError(
-                f"confidence must be in (0, 1), got {self.confidence}"
-            )
+#: Backwards-compatible name.  Contracts are first-class values in
+#: :mod:`repro.core.contracts` now; ``QualityContract(...)`` keeps
+#: working because the field order and semantics are unchanged.
+QualityContract = Contract
 
 
 @dataclass(frozen=True)
@@ -254,18 +232,49 @@ class BoundedQueryProcessor:
     def execute(
         self,
         query: Query,
-        contract: QualityContract | None = None,
+        contract: Contract | None = None,
         context: Optional[ExecutionContext] = None,
     ) -> BoundedResult:
         """Answer ``query`` under ``contract`` (default: unconstrained).
+
+        A thin drain loop over :meth:`run` — the ladder executes
+        exactly as before, the per-rung progress snapshots are simply
+        discarded.  Kept as the blocking entry point; callers who want
+        the snapshots use ``engine.submit`` (a
+        :class:`~repro.core.handle.QueryHandle` over :meth:`run`).
+        """
+        stream = self.run(query, contract, context)
+        while True:
+            try:
+                next(stream)
+            except StopIteration as stop:
+                return stop.value
+
+    def run(
+        self,
+        query: Query,
+        contract: Contract | None = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> Generator[ProgressUpdate, None, BoundedResult]:
+        """The generator core: yield one update per executed rung.
 
         With no contract the smallest covering impression answers —
         the interactive-exploration default.  The base table is always
         the ladder's last rung.  ``context`` is the per-execution cost
         meter; when absent one is opened against the contract's time
-        budget, with this processor's clock as aggregate observer.
+        budget, with this processor's clock as aggregate observer —
+        lazily, at the first step, so wall-mode budgets bill execution
+        time rather than time spent queued.
+
+        Every executed rung — answered or unanswerable — yields one
+        :class:`ProgressUpdate` whose estimates are the rung's own
+        answer (the same object escalation decisions are made from,
+        so streaming charges nothing extra) and whose ``partial`` is
+        the best-so-far :class:`BoundedResult`.  The generator's
+        return value is the final outcome; strict-mode violations
+        raise only at natural completion, never mid-stream.
         """
-        contract = contract if contract is not None else QualityContract()
+        contract = contract if contract is not None else Contract()
         if query.table != self.hierarchy.base_table:
             raise QueryError(
                 f"processor serves {self.hierarchy.base_table!r}, "
@@ -288,10 +297,13 @@ class BoundedQueryProcessor:
                 return True
             return units <= contract.time_budget - (context.spent - entry_spent)
 
-        ladder: List[Optional[Impression]] = list(
-            self.hierarchy.candidates_for(query, base)
-        )
-        ladder.append(None)  # the base table: exact, most expensive
+        if contract.is_exact:
+            # an exact contract goes straight to the base columns —
+            # no impression rung is ever considered
+            ladder: List[Optional[Impression]] = [None]
+        else:
+            ladder = list(self.hierarchy.candidates_for(query, base))
+            ladder.append(None)  # the base table: exact, most expensive
 
         foldable = self._foldable_enabled(query)
         # Delta state threaded up the ladder: the matching rows of
@@ -375,6 +387,10 @@ class BoundedQueryProcessor:
                         delta_rows=scanned,
                     )
                 )
+                yield self._snapshot(
+                    contract, context, entry_spent, attempts,
+                    None, best, best_error,
+                )
                 continue
             attempt_error = result.worst_relative_error
             self._observe_throughput(
@@ -398,6 +414,10 @@ class BoundedQueryProcessor:
             )
             if attempt_error < best_error or best is None:
                 best, best_error = result, attempt_error
+            yield self._snapshot(
+                contract, context, entry_spent, attempts,
+                result, best, best_error,
+            )
             if satisfied:
                 break
 
@@ -432,6 +452,10 @@ class BoundedQueryProcessor:
                     delta_rows=scanned,
                 )
             )
+            yield self._snapshot(
+                contract, context, entry_spent, attempts,
+                best, best, best_error,
+            )
         call_spent = context.spent - entry_spent
         met_quality = (
             contract.max_relative_error is None
@@ -450,6 +474,53 @@ class BoundedQueryProcessor:
             met_quality=met_quality,
             met_budget=met_budget,
             total_cost=call_spent,
+        )
+
+    def _snapshot(
+        self,
+        contract: Contract,
+        context: ExecutionContext,
+        entry_spent: float,
+        attempts: List[ExecutionAttempt],
+        result: Optional[EstimatedResult],
+        best: Optional[EstimatedResult],
+        best_error: float,
+    ) -> ProgressUpdate:
+        """Finalise one rung into a progress update — charging nothing.
+
+        Everything here is arithmetic over answers already computed
+        for the escalation decision; ``partial`` (the stop-right-now
+        outcome) copies the attempts list so later rungs cannot
+        mutate an update a consumer already holds.
+        """
+        attempt = attempts[-1]
+        spent = context.spent - entry_spent
+        partial: Optional[BoundedResult] = None
+        if best is not None:
+            partial = BoundedResult(
+                result=best,
+                attempts=list(attempts),
+                met_quality=contract.max_relative_error is None
+                or best_error <= contract.max_relative_error,
+                met_budget=contract.time_budget is None
+                or spent <= contract.time_budget,
+                total_cost=spent,
+            )
+        return ProgressUpdate(
+            rung=len(attempts) - 1,
+            source=attempt.source,
+            result=result,
+            achieved_error=attempt.relative_error,
+            best_error=best_error if best is not None else float("inf"),
+            satisfied=attempt.satisfied,
+            spent=spent,
+            remaining=(
+                None
+                if contract.time_budget is None
+                else max(0.0, contract.time_budget - spent)
+            ),
+            attempt=attempt,
+            partial=partial,
         )
 
     # ------------------------------------------------------------------
@@ -725,33 +796,45 @@ class BoundedQueryProcessor:
         if rung is not None:
             return self.estimator.estimate(query, rung, confidence, context)
         exact = self._base_executor.execute(query, context=context)
-        if query.is_aggregate and not query.group_by:
-            estimates = {
-                name: _exact_estimate(value, confidence, base.num_rows)
-                for name, value in (exact.scalars or {}).items()
-            }
-            return EstimatedResult(
-                query=query,
-                source=base.name,
-                stats=exact.stats,
-                estimates=estimates,
-                exact=True,
-            )
-        if query.group_by:
-            return EstimatedResult(
-                query=query,
-                source=base.name,
-                stats=exact.stats,
-                groups=exact.rows,
-                exact=True,
-            )
+        return exact_estimated_result(query, exact, base, confidence)
+
+
+def exact_estimated_result(
+    query: Query, exact, base, confidence: float
+) -> EstimatedResult:
+    """Wrap a raw base-executor result into the bounded answer shape.
+
+    Shared by the processor's final exact rung and the engine's
+    ``Contract.exact()`` fast path (which bypasses the ladder — and
+    works on tables with no hierarchy at all).
+    """
+    if query.is_aggregate and not query.group_by:
+        estimates = {
+            name: _exact_estimate(value, confidence, base.num_rows)
+            for name, value in (exact.scalars or {}).items()
+        }
         return EstimatedResult(
             query=query,
             source=base.name,
             stats=exact.stats,
-            rows=exact.rows,
+            estimates=estimates,
             exact=True,
         )
+    if query.group_by:
+        return EstimatedResult(
+            query=query,
+            source=base.name,
+            stats=exact.stats,
+            groups=exact.rows,
+            exact=True,
+        )
+    return EstimatedResult(
+        query=query,
+        source=base.name,
+        stats=exact.stats,
+        rows=exact.rows,
+        exact=True,
+    )
 
 
 def _exact_estimate(value: float, confidence: float, population: int):

@@ -1,0 +1,269 @@
+"""First-class execution contracts: what the user demands of an answer.
+
+SciBORQ's two promises — "give me an answer within 5% of the truth"
+and "give me the best answer within 5 minutes" (paper §3.2) — used to
+be spelled as four keyword arguments duplicated across every entry
+point.  A :class:`Contract` is the same demand as one immutable value:
+
+>>> Contract.within_error(0.05)                 # quality bound
+Contract(error<=0.05)
+>>> Contract.within_budget(10_000)              # runtime bound
+Contract(budget<=10000)
+>>> Contract.within_error(0.05) & Contract.within_budget(10_000)
+Contract(error<=0.05, budget<=10000)
+>>> Contract.exact()                            # base data, zero error
+Contract(exact)
+
+Contracts flow unchanged through every layer — ``engine.submit`` /
+``engine.execute``, ``Session``, ``SciBorqServer`` — so a bound
+declared once means the same thing everywhere.  The ``&`` combinator
+builds hybrid bounds and rejects contradictions (the same bound
+specified twice, conflicting confidences).  Modifier methods return
+new values; a contract never mutates.
+
+:class:`~repro.core.bounded.QualityContract` is now an alias of this
+class, kept so existing call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import QueryError
+
+#: The default confidence level.  ``&`` treats a confidence equal to
+#: this value as "left alone": an explicit request for exactly 0.95 is
+#: indistinguishable from the default and yields to the other side.
+DEFAULT_CONFIDENCE = 0.95
+
+
+@dataclass(frozen=True)
+class Contract:
+    """An immutable demand on a query's answer.
+
+    Prefer the named constructors (:meth:`within_error`,
+    :meth:`within_budget`, :meth:`exact`, :meth:`unconstrained`) and
+    the ``&`` combinator over direct field construction.
+
+    Parameters
+    ----------
+    max_relative_error:
+        Upper bound on the worst relative error across the reported
+        estimates (None: no quality requirement).
+    time_budget:
+        Upper bound on execution cost, in the clock's units (cost
+        units for :class:`~repro.util.clock.CostClock`, seconds for
+        wall clocks).  None: no runtime requirement.
+    confidence:
+        Confidence level at which relative errors are assessed.
+    strict:
+        Raise instead of degrading gracefully when a bound cannot be
+        met.
+    hierarchy:
+        Named impression hierarchy to answer from (None: the table's
+        default).
+    is_exact:
+        Route straight to the base data — one exact attempt, no
+        escalation ladder.  Set via :meth:`exact`, never directly.
+    """
+
+    max_relative_error: Optional[float] = None
+    time_budget: Optional[float] = None
+    confidence: float = DEFAULT_CONFIDENCE
+    strict: bool = False
+    hierarchy: Optional[str] = None
+    is_exact: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_relative_error is not None and self.max_relative_error < 0:
+            raise QueryError(
+                f"max_relative_error must be non-negative, "
+                f"got {self.max_relative_error}"
+            )
+        if self.time_budget is not None and self.time_budget < 0:
+            raise QueryError(
+                f"time_budget must be non-negative, got {self.time_budget}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise QueryError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.is_exact and self.max_relative_error not in (None, 0.0):
+            raise QueryError(
+                f"an exact contract cannot carry a non-zero error bound "
+                f"(got {self.max_relative_error}); drop is_exact or the "
+                f"bound"
+            )
+
+    # ------------------------------------------------------------------
+    # named constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def within_error(
+        cls, bound: float, confidence: float = DEFAULT_CONFIDENCE
+    ) -> "Contract":
+        """Quality bound: worst relative error at most ``bound``."""
+        return cls(max_relative_error=bound, confidence=confidence)
+
+    @classmethod
+    def within_budget(cls, budget: float) -> "Contract":
+        """Runtime bound: spend at most ``budget`` clock units."""
+        return cls(time_budget=budget)
+
+    @classmethod
+    def exact(cls) -> "Contract":
+        """Demand the exact base-data answer (no escalation ladder).
+
+        Unlike ``within_error(0.0)`` — which climbs the ladder and
+        only *ends* on the base columns — an exact contract goes
+        straight there, works on tables with no hierarchy at all, and
+        preserves the base-path side effects (result recycling into
+        the ICICLES reservoir).
+        """
+        return cls(max_relative_error=0.0, is_exact=True)
+
+    @classmethod
+    def unconstrained(cls) -> "Contract":
+        """No demands: answer from the cheapest layer available."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # modifiers (functional: each returns a new value)
+    # ------------------------------------------------------------------
+    def strictly(self) -> "Contract":
+        """Raise on a missed bound instead of degrading gracefully."""
+        return replace(self, strict=True)
+
+    def with_confidence(self, confidence: float) -> "Contract":
+        """Assess relative errors at ``confidence`` instead."""
+        return replace(self, confidence=confidence)
+
+    def on_hierarchy(self, name: str) -> "Contract":
+        """Answer from the named impression hierarchy."""
+        return replace(self, hierarchy=name)
+
+    # ------------------------------------------------------------------
+    # combinator
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Contract") -> "Contract":
+        """Combine two one-sided contracts into a hybrid bound.
+
+        Each bound may be specified by at most one side — asking for
+        two different error bounds (or an exact answer *and* an error
+        bound) is a contradiction, not a merge.  Confidence follows
+        whichever side set it away from :data:`DEFAULT_CONFIDENCE`
+        (a side whose confidence equals the default is treated as
+        unset); ``strict`` and ``exact`` are sticky; differing
+        explicit hierarchies conflict.
+        """
+        if not isinstance(other, Contract):
+            return NotImplemented
+        quality_sides = sum(
+            1
+            for c in (self, other)
+            if c.max_relative_error is not None or c.is_exact
+        )
+        if quality_sides == 2:
+            raise QueryError(
+                "contract conflict: both sides specify a quality bound "
+                f"({self!r} & {other!r})"
+            )
+        if self.time_budget is not None and other.time_budget is not None:
+            raise QueryError(
+                "contract conflict: both sides specify a time budget "
+                f"({self!r} & {other!r})"
+            )
+        explicit = [
+            c.confidence
+            for c in (self, other)
+            if c.confidence != DEFAULT_CONFIDENCE
+        ]
+        if len(set(explicit)) > 1:
+            raise QueryError(
+                f"contract conflict: confidences {explicit[0]} and "
+                f"{explicit[1]} disagree"
+            )
+        hierarchies = {
+            c.hierarchy for c in (self, other) if c.hierarchy is not None
+        }
+        if len(hierarchies) > 1:
+            raise QueryError(
+                f"contract conflict: hierarchies {sorted(hierarchies)} disagree"
+            )
+        quality = self if (
+            self.max_relative_error is not None or self.is_exact
+        ) else other
+        return Contract(
+            max_relative_error=quality.max_relative_error,
+            time_budget=(
+                self.time_budget
+                if self.time_budget is not None
+                else other.time_budget
+            ),
+            confidence=explicit[0] if explicit else DEFAULT_CONFIDENCE,
+            strict=self.strict or other.strict,
+            hierarchy=next(iter(hierarchies)) if hierarchies else None,
+            is_exact=self.is_exact or other.is_exact,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Short human-readable form used by handles and examples."""
+        parts = []
+        if self.is_exact:
+            parts.append("exact")
+        elif self.max_relative_error is not None:
+            parts.append(f"error<={self.max_relative_error:g}")
+        if self.time_budget is not None:
+            parts.append(f"budget<={self.time_budget:g}")
+        if self.confidence != DEFAULT_CONFIDENCE:
+            parts.append(f"conf={self.confidence:g}")
+        if self.strict:
+            parts.append("strict")
+        if self.hierarchy is not None:
+            parts.append(f"hierarchy={self.hierarchy!r}")
+        return f"Contract({', '.join(parts) or 'unconstrained'})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def legacy_contract(
+    max_relative_error: Optional[float] = None,
+    time_budget: Optional[float] = None,
+    confidence: Optional[float] = None,
+    strict: bool = False,
+    *,
+    owner: str,
+) -> Optional[Contract]:
+    """Build a :class:`Contract` from the deprecated per-field kwargs.
+
+    Returns ``None`` when no legacy field was used, so callers can
+    fall back to an explicit ``contract=`` argument or their default.
+    Emits one :class:`DeprecationWarning` per use site — the old
+    four-kwarg sprawl keeps working, but new code should pass a
+    contract value.
+    """
+    if (
+        max_relative_error is None
+        and time_budget is None
+        and confidence is None
+        and not strict
+    ):
+        return None
+    warnings.warn(
+        f"{owner}: the max_relative_error/time_budget/confidence/strict "
+        f"keyword arguments are deprecated; pass contract="
+        f"Contract.within_error(...), Contract.within_budget(...), or a "
+        f"combination via '&'",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return Contract(
+        max_relative_error=max_relative_error,
+        time_budget=time_budget,
+        confidence=confidence if confidence is not None else DEFAULT_CONFIDENCE,
+        strict=strict,
+    )

@@ -17,27 +17,35 @@ bounded query execution.  The typical session:
 ...                         layer_sizes=(20_000, 2_000))
 >>> build_skyserver(100_000, loader=engine.loader, rng=8)   # doctest: +ELLIPSIS
 (...)
->>> result = engine.execute(some_query, max_relative_error=0.1)
+>>> result = engine.execute(some_query, Contract.within_error(0.1))
 ... # doctest: +SKIP
+
+The progressive spelling — ``engine.submit(query, contract)`` —
+returns a :class:`~repro.core.handle.QueryHandle` that streams one
+update per escalation rung and can be cancelled between rungs.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.columnstore.catalog import Catalog
 from repro.columnstore.executor import Executor, expand_view
+from repro.columnstore.expressions import TruePredicate
 from repro.columnstore.loader import Loader
 from repro.columnstore.query import Query
 from repro.columnstore.recycler import Recycler
 from repro.core.bounded import (
     BoundedQueryProcessor,
     BoundedResult,
-    QualityContract,
+    ExecutionAttempt,
+    exact_estimated_result,
 )
+from repro.core.contracts import Contract, legacy_contract
+from repro.core.handle import ProgressUpdate, QueryHandle
 from repro.core.builder import ImpressionBuilder
 from repro.core.hierarchy import ImpressionHierarchy
 from repro.core.maintenance import (
@@ -53,7 +61,7 @@ from repro.core.policy import (
     UniformPolicy,
     build_hierarchy,
 )
-from repro.errors import ImpressionError, QueryError
+from repro.errors import BudgetExceededError, ImpressionError, QueryError
 from repro.sampling.extrema import ExtremaReservoir
 from repro.sampling.icicles import SelfTuningReservoir
 from repro.stats.estimators import Estimate
@@ -314,66 +322,220 @@ class SciBorq:
     # ------------------------------------------------------------------
     # query path
     # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query,
+        contract: Optional[Contract] = None,
+        *,
+        hierarchy: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+        context_factory: Optional[Callable[[], ExecutionContext]] = None,
+    ) -> QueryHandle:
+        """Submit a query for progressive execution under ``contract``.
+
+        Returns a :class:`~repro.core.handle.QueryHandle` immediately;
+        nothing is scanned until the handle is iterated or
+        :meth:`~repro.core.handle.QueryHandle.result` is called.  Each
+        iteration yields one :class:`~repro.core.handle.ProgressUpdate`
+        per escalation rung — the anytime interaction model: act on a
+        partial answer, or ``cancel()`` and keep it.
+
+        Submission feeds the workload machinery up front (query log,
+        predicate sets, drift detectors) — the workload model sees
+        intent, not completion.  An exact contract routes straight to
+        the base executor (works on tables with no hierarchy at all,
+        preserves the ICICLES recycling side effect); any other
+        contract requires a hierarchy.  ``hierarchy`` overrides the
+        contract's own selection.  ``context`` carries a caller-owned
+        cost meter; ``context_factory`` defers its creation to the
+        first rung (the server layer uses this so wall-mode budgets
+        bill execution time, not queueing time).
+        """
+        query = expand_view(self.catalog, query)
+        contract = contract if contract is not None else Contract()
+        hierarchy = hierarchy if hierarchy is not None else contract.hierarchy
+        with self._workload_lock:
+            self.query_log.record(query)
+            self.collector.observe(query)
+        if contract.is_exact:
+            return QueryHandle(
+                query,
+                contract,
+                self._run_exact(query, contract, context, context_factory),
+            )
+        if query.table not in self._processors or not self._processors[query.table]:
+            raise QueryError(
+                f"no hierarchy for table {query.table!r}; create one or "
+                f"use Contract.exact() (engine.execute_exact is the "
+                f"legacy spelling)"
+            )
+        processor = self.processor(query.table, hierarchy)
+        return QueryHandle(
+            query,
+            contract,
+            self._run_bounded(processor, query, contract, context, context_factory),
+            finalize=lambda outcome: self._finalize_outcome(query, outcome),
+        )
+
     def execute(
         self,
         query: Query,
+        contract: Optional[Contract] = None,
         max_relative_error: Optional[float] = None,
         time_budget: Optional[float] = None,
-        confidence: float = 0.95,
+        confidence: Optional[float] = None,
         strict: bool = False,
         hierarchy: Optional[str] = None,
         context: Optional[ExecutionContext] = None,
     ) -> BoundedResult:
-        """Answer a query under runtime/quality bounds.
+        """Answer a query under a contract, blocking until done.
 
-        Every execution also feeds the workload machinery: the query
-        is logged, its predicates extend the predicate set (steering
-        future biased sampling), and the drift detectors see the new
-        values.  ``hierarchy`` selects a named hierarchy; the table's
-        default is used otherwise.  ``context`` carries a caller-owned
-        per-execution cost meter (the server layer passes one wired to
-        the session's aggregate clock); when absent the processor
-        opens its own against ``time_budget``.
+        The blocking spelling of :meth:`submit` — equivalent to
+        ``submit(query, contract).result()``, discarding the per-rung
+        progress stream.  ``contract`` is the one way to state bounds;
+        the old ``max_relative_error``/``time_budget``/``confidence``/
+        ``strict`` keywords still work as deprecation shims that build
+        the same :class:`Contract` (they cannot be combined with an
+        explicit contract).
         """
-        query = expand_view(self.catalog, query)
-        with self._workload_lock:
-            self.query_log.record(query)
-            self.collector.observe(query)
-        if query.table not in self._processors or not self._processors[query.table]:
+        if contract is not None and not isinstance(contract, Contract):
             raise QueryError(
-                f"no hierarchy for table {query.table!r}; create one or "
-                f"use engine.execute_exact"
+                f"expected a Contract as second argument, got "
+                f"{contract!r}; use Contract.within_error(...) or the "
+                f"max_relative_error= keyword"
             )
-        processor = self.processor(query.table, hierarchy)
-        contract = QualityContract(
-            max_relative_error=max_relative_error,
-            time_budget=time_budget,
-            confidence=confidence,
-            strict=strict,
+        legacy = legacy_contract(
+            max_relative_error,
+            time_budget,
+            confidence,
+            strict,
+            owner="SciBorq.execute",
         )
-        outcome = processor.execute(query, contract, context=context)
-        self._apply_extrema(query, outcome)
-        return outcome
+        if contract is not None and legacy is not None:
+            raise QueryError(
+                "pass either contract= or the deprecated per-field "
+                "kwargs, not both"
+            )
+        contract = contract if contract is not None else legacy
+        return self.submit(
+            query, contract, hierarchy=hierarchy, context=context
+        ).result()
 
     def execute_exact(self, query: Query, context: Optional[ExecutionContext] = None):
         """Run a query on the base data, bypassing impressions.
 
-        If result recycling is enabled for the table, the rows this
-        query touched are re-offered to the self-tuning sample (the
-        ICICLES side-effect, paper §5).
+        Legacy spelling retained for callers that want the raw
+        executor result; ``execute(query, Contract.exact())`` is the
+        contract-first equivalent and returns the uniform
+        :class:`BoundedResult` shape instead.  If result recycling is
+        enabled for the table, the rows this query touched are
+        re-offered to the self-tuning sample (the ICICLES
+        side-effect, paper §5).
         """
         query = expand_view(self.catalog, query)
         with self._workload_lock:
             self.query_log.record(query)
             self.collector.observe(query)
         result = self._base_executor.execute(query, context=context)
+        self._offer_recycled_rows(query)
+        return result
+
+    # ------------------------------------------------------------------
+    # execution streams behind submit()
+    # ------------------------------------------------------------------
+    def _run_bounded(
+        self,
+        processor: BoundedQueryProcessor,
+        query: Query,
+        contract: Contract,
+        context: Optional[ExecutionContext],
+        context_factory: Optional[Callable[[], ExecutionContext]],
+    ) -> Iterator[ProgressUpdate]:
+        """Ladder stream: defer context creation to the first rung."""
+        if context is None and context_factory is not None:
+            context = context_factory()
+        result = yield from processor.run(query, contract, context)
+        return result
+
+    def _run_exact(
+        self,
+        query: Query,
+        contract: Contract,
+        context: Optional[ExecutionContext],
+        context_factory: Optional[Callable[[], ExecutionContext]],
+    ) -> Iterator[ProgressUpdate]:
+        """Exact stream: one base-data attempt, no ladder.
+
+        Produces the same :class:`BoundedResult` shape as a bounded
+        execution (one exact, satisfied attempt) so callers handle
+        one result type — and keeps the base path's side effects
+        (recycler capture feeding the ICICLES reservoir).  Works on
+        tables with no hierarchy: the base executor is all it needs.
+        """
+        base = self.catalog.table(query.table)
+        if context is None:
+            context = (
+                context_factory()
+                if context_factory is not None
+                else ExecutionContext(
+                    clock=self.clock, limit=contract.time_budget
+                )
+            )
+        entry_spent = context.spent
+        raw = self._base_executor.execute(query, context=context)
+        self._offer_recycled_rows(query)
+        result = exact_estimated_result(query, raw, base, contract.confidence)
+        spent = context.spent - entry_spent
+        attempt = ExecutionAttempt(
+            source=base.name,
+            rows=base.num_rows,
+            cost=spent,
+            relative_error=0.0,
+            satisfied=True,
+        )
+        met_budget = (
+            contract.time_budget is None or spent <= contract.time_budget
+        )
+        outcome = BoundedResult(
+            result=result,
+            attempts=[attempt],
+            met_quality=True,
+            met_budget=met_budget,
+            total_cost=spent,
+        )
+        yield ProgressUpdate(
+            rung=0,
+            source=base.name,
+            result=result,
+            achieved_error=0.0,
+            best_error=0.0,
+            satisfied=True,
+            spent=spent,
+            remaining=(
+                None
+                if contract.time_budget is None
+                else max(0.0, contract.time_budget - spent)
+            ),
+            attempt=attempt,
+            partial=outcome,
+        )
+        if contract.strict and not met_budget:
+            raise BudgetExceededError(contract.time_budget, spent)
+        return outcome
+
+    def _offer_recycled_rows(self, query: Query) -> None:
+        """The ICICLES side effect of a base-data scan (paper §5)."""
         reservoir = self._self_tuning.get(query.table)
         if reservoir is not None and self.recycler is not None:
             base = self.catalog.table(query.table)
             touched = self.recycler.peek(base, query.predicate)
             if touched is not None:
                 reservoir.offer_results(touched)
-        return result
+
+    def _finalize_outcome(self, query: Query, outcome: BoundedResult) -> BoundedResult:
+        """Post-process a finished (or cancelled) bounded outcome."""
+        self._apply_extrema(query, outcome)
+        return outcome
 
     def _apply_extrema(self, query: Query, outcome: BoundedResult) -> None:
         """Overwrite MIN/MAX estimates with exact extrema when tracked."""
@@ -386,8 +548,6 @@ class SciBorq:
             reservoir = self._extrema.get((query.table, spec.column))
             if reservoir is None or reservoir.size == 0:
                 continue
-            from repro.columnstore.expressions import TruePredicate
-
             if not isinstance(query.predicate, TruePredicate):
                 continue  # extrema are exact only for unfiltered queries
             exact_value = (

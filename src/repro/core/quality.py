@@ -87,6 +87,18 @@ class EstimatedResult:
             worst = max(worst, self.support.relative_error)
         return worst
 
+    def intervals(self) -> Dict[str, tuple]:
+        """Per-estimate (low, high) confidence intervals.
+
+        The progressive-execution surface streams one of these per
+        ladder rung — a UI draws the interval tightening as the climb
+        proceeds.  Scalar aggregates only; grouped and row answers
+        carry their uncertainty in ``group_estimates`` / ``support``.
+        """
+        if not self.estimates:
+            return {}
+        return {name: est.ci for name, est in self.estimates.items()}
+
     def describe(self) -> str:
         """Human-readable summary used by the examples."""
         lines = [f"answer from {self.source} (exact={self.exact})"]

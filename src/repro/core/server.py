@@ -35,8 +35,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.columnstore.query import Query
-from repro.core.bounded import BoundedResult, QualityContract
+from repro.core.bounded import BoundedResult
+from repro.core.contracts import Contract
 from repro.core.engine import SciBorq
+from repro.core.handle import QueryHandle
 from repro.core.maintenance import RefreshReport
 from repro.core.session import Session
 from repro.errors import SessionError
@@ -44,7 +46,7 @@ from repro.util.clock import ExecutionContext
 from repro.util.concurrency import ReadWriteLock
 
 #: A unit of pool work: (session, query, contract, hierarchy name).
-_Job = Tuple[Session, Query, QualityContract, Optional[str]]
+_Job = Tuple[Session, Query, Contract, Optional[str]]
 
 
 class SciBorqServer:
@@ -87,12 +89,18 @@ class SciBorqServer:
     def open_session(
         self,
         name: Optional[str] = None,
+        contract: Optional[Contract] = None,
         max_relative_error: Optional[float] = None,
         time_budget: Optional[float] = None,
-        confidence: float = 0.95,
+        confidence: Optional[float] = None,
         strict: bool = False,
     ) -> Session:
-        """Open a new session with its own default quality contract."""
+        """Open a new session with its own default contract.
+
+        ``contract`` is the session's default :class:`Contract`; the
+        per-field keywords are the deprecated spelling (the
+        :class:`Session` constructor resolves and warns).
+        """
         self._require_open()
         with self._admin_lock:
             session_id = self._next_session_id
@@ -101,6 +109,7 @@ class SciBorqServer:
                 self,
                 session_id,
                 name=name,
+                contract=contract,
                 max_relative_error=max_relative_error,
                 time_budget=time_budget,
                 confidence=confidence,
@@ -130,7 +139,7 @@ class SciBorqServer:
         self,
         session: Session,
         query: Query,
-        contract: Optional[QualityContract] = None,
+        contract: Optional[Contract] = None,
         hierarchy: Optional[str] = None,
     ) -> BoundedResult:
         """Run one query for ``session`` under the shared read lock.
@@ -151,18 +160,83 @@ class SciBorqServer:
                 observers=(session.clock,),
             )
             outcome = self.engine.execute(
-                query,
-                max_relative_error=contract.max_relative_error,
-                time_budget=contract.time_budget,
-                confidence=contract.confidence,
-                strict=contract.strict,
-                hierarchy=hierarchy,
-                context=context,
+                query, contract, hierarchy=hierarchy, context=context
             )
         session._record(query, outcome)
         with self._admin_lock:
             self._queries_served += 1
         return outcome
+
+    # ------------------------------------------------------------------
+    # progressive execution (readers)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        session: Session,
+        query: Query,
+        contract: Optional[Contract] = None,
+        hierarchy: Optional[str] = None,
+    ) -> QueryHandle:
+        """Submit one progressive query for ``session`` on the pool.
+
+        Returns the :class:`~repro.core.handle.QueryHandle`
+        immediately; a pool worker drains the ladder under the shared
+        read lock, delivering ``on_progress`` callbacks from the
+        worker thread.  The execution context — engine clock plus the
+        session clock as observers — is created lazily at the first
+        rung, inside the read lock, so wall-mode budgets bill
+        execution time only.  ``cancel()`` on the returned handle
+        stops the worker between rungs.
+        """
+        self._require_open()
+        session._require_open()
+        contract = contract if contract is not None else session.defaults
+        handle = self.engine.submit(
+            query,
+            contract,
+            hierarchy=hierarchy,
+            context_factory=lambda: ExecutionContext(
+                clock=self.engine.clock,
+                limit=contract.time_budget,
+                observers=(session.clock,),
+            ),
+        )
+        handle.mark_driven()
+        self._pool.submit(self._drive_handle, handle, session, query)
+        return handle
+
+    def submit_many(
+        self,
+        jobs: Sequence[Tuple[Session, Query]],
+        hierarchy: Optional[str] = None,
+    ) -> List[QueryHandle]:
+        """Submit ``(session, query)`` pairs progressively; handles in
+        submission order.
+
+        Each query runs under its session's default contract in its
+        own execution context; the handles stream their ladders
+        concurrently on the pool — one batch may interleave many
+        users' in-flight work, each individually observable and
+        cancellable.
+        """
+        return [
+            self.submit(session, query, hierarchy=hierarchy)
+            for session, query in jobs
+        ]
+
+    def _drive_handle(
+        self, handle: QueryHandle, session: Session, query: Query
+    ) -> None:
+        """Pool worker: drain one handle under the shared read lock."""
+        with self._rwlock.read_locked():
+            handle.drain()
+        try:
+            outcome = handle.result(timeout=0)
+        except BaseException:  # noqa: BLE001 - strict misses stay on the handle
+            return
+        session._record(query, outcome)
+        with self._admin_lock:
+            self._queries_served += 1
 
     def execute_many(
         self,

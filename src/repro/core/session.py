@@ -28,7 +28,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.columnstore.query import Query
-from repro.core.bounded import BoundedResult, QualityContract
+from repro.core.bounded import BoundedResult
+from repro.core.contracts import Contract, legacy_contract
+from repro.core.handle import QueryHandle
 from repro.errors import SessionError
 from repro.util.clock import CostClock
 from repro.workload.log import QueryLog
@@ -66,9 +68,12 @@ class Session:
         Server-unique id.
     name:
         Human label (defaults to ``"session-<id>"``).
-    max_relative_error / time_budget / confidence / strict:
-        The session's default quality contract, applied to every
+    contract:
+        The session's default :class:`Contract`, applied to every
         query not overriding it.
+    max_relative_error / time_budget / confidence / strict:
+        Deprecated per-field spelling of ``contract``; cannot be
+        combined with it.
     """
 
     def __init__(
@@ -76,19 +81,31 @@ class Session:
         server: "SciBorqServer",
         session_id: int,
         name: Optional[str] = None,
+        contract: Optional[Contract] = None,
         max_relative_error: Optional[float] = None,
         time_budget: Optional[float] = None,
-        confidence: float = 0.95,
+        confidence: Optional[float] = None,
         strict: bool = False,
     ) -> None:
         self._server = server
         self.session_id = session_id
         self.name = name if name is not None else f"session-{session_id}"
-        self.defaults = QualityContract(
-            max_relative_error=max_relative_error,
-            time_budget=time_budget,
-            confidence=confidence,
-            strict=strict,
+        legacy = legacy_contract(
+            max_relative_error,
+            time_budget,
+            confidence,
+            strict,
+            owner="Session",
+        )
+        if contract is not None and legacy is not None:
+            raise SessionError(
+                "pass either contract= or the deprecated per-field "
+                "kwargs, not both"
+            )
+        self.defaults = (
+            contract
+            if contract is not None
+            else (legacy if legacy is not None else Contract())
         )
         #: Aggregate observer: sums the cost of this session's queries.
         self.clock = CostClock()
@@ -107,15 +124,17 @@ class Session:
         time_budget=INHERIT,
         confidence=INHERIT,
         strict=INHERIT,
-    ) -> QualityContract:
+    ) -> Contract:
         """The session defaults with per-query overrides applied.
 
         Omitted fields inherit the session default; an explicit
         ``None`` lifts a bound for this query only (e.g.
         ``time_budget=None`` runs unbounded despite a budgeted
-        session).
+        session).  Overriding the error bound on an exact-default
+        session drops the exact routing — the caller asked for an
+        approximate answer, so the ladder must actually run.
         """
-        return QualityContract(
+        return Contract(
             max_relative_error=(
                 self.defaults.max_relative_error
                 if max_relative_error is INHERIT
@@ -130,6 +149,8 @@ class Session:
                 self.defaults.confidence if confidence is INHERIT else confidence
             ),
             strict=self.defaults.strict if strict is INHERIT else strict,
+            hierarchy=self.defaults.hierarchy,
+            is_exact=self.defaults.is_exact and max_relative_error is INHERIT,
         )
 
     # ------------------------------------------------------------------
@@ -138,22 +159,30 @@ class Session:
     def execute(
         self,
         query: Query,
+        contract: Optional[Contract] = None,
         max_relative_error=INHERIT,
         time_budget=INHERIT,
         confidence=INHERIT,
         strict=INHERIT,
         hierarchy: Optional[str] = None,
     ) -> BoundedResult:
-        """Run one query under this session's (overridable) contract."""
+        """Run one query under this session's (overridable) contract.
+
+        ``contract`` replaces the session default wholesale for this
+        query; the per-field keywords override individual defaults
+        (the pre-contract spelling, kept working).  The two spellings
+        cannot be combined — mixing them would silently drop one.
+        """
         self._require_open()
-        contract = self.contract(
-            max_relative_error, time_budget, confidence, strict
+        resolved = self._resolve(
+            contract, max_relative_error, time_budget, confidence, strict
         )
-        return self._server.execute(self, query, contract, hierarchy=hierarchy)
+        return self._server.execute(self, query, resolved, hierarchy=hierarchy)
 
     def execute_many(
         self,
         queries: Sequence[Query],
+        contract: Optional[Contract] = None,
         max_relative_error=INHERIT,
         time_budget=INHERIT,
         confidence=INHERIT,
@@ -163,20 +192,78 @@ class Session:
     ) -> List[BoundedResult]:
         """Run a batch concurrently on the server's pool, in order.
 
-        ``time_budget`` (like every contract field) applies *per
-        query* — each submission gets its own execution context, so
-        one slow query cannot eat a sibling's budget.  With
-        ``return_exceptions`` a strict batch returns each failure in
-        its slot instead of re-raising the first after the gather.
+        The contract (like every bound) applies *per query* — each
+        submission gets its own execution context, so one slow query
+        cannot eat a sibling's budget.  With ``return_exceptions`` a
+        strict batch returns each failure in its slot instead of
+        re-raising the first after the gather.
         """
         self._require_open()
-        contract = self.contract(
-            max_relative_error, time_budget, confidence, strict
+        resolved = self._resolve(
+            contract, max_relative_error, time_budget, confidence, strict
         )
-        jobs = [(self, query, contract, hierarchy) for query in queries]
+        jobs = [(self, query, resolved, hierarchy) for query in queries]
         return self._server.execute_jobs(
             jobs, return_exceptions=return_exceptions
         )
+
+    def _resolve(
+        self, contract, max_relative_error, time_budget, confidence, strict
+    ) -> Contract:
+        """One contract per call: explicit value, or defaults+overrides.
+
+        Mixing ``contract=`` with per-field overrides raises (the
+        engine rejects the same combination) — otherwise the override
+        would be silently discarded.
+        """
+        overridden = any(
+            value is not INHERIT
+            for value in (max_relative_error, time_budget, confidence, strict)
+        )
+        if contract is not None:
+            if overridden:
+                raise SessionError(
+                    "pass either contract= or the per-field override "
+                    "kwargs, not both"
+                )
+            return contract
+        return self.contract(max_relative_error, time_budget, confidence, strict)
+
+    # ------------------------------------------------------------------
+    # progressive execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query,
+        contract: Optional[Contract] = None,
+        hierarchy: Optional[str] = None,
+    ) -> QueryHandle:
+        """Submit one query for progressive execution on the server.
+
+        Returns immediately with a :class:`~repro.core.handle.
+        QueryHandle` the server's pool drains in the background:
+        iterate it (or register ``on_progress`` callbacks, delivered
+        from the worker thread) to watch the ladder climb, call
+        ``result()`` to block for the final answer, or ``cancel()``
+        to stop between rungs and keep the best answer so far.
+        """
+        self._require_open()
+        resolved = contract if contract is not None else self.defaults
+        return self._server.submit(self, query, resolved, hierarchy=hierarchy)
+
+    def submit_many(
+        self,
+        queries: Sequence[Query],
+        contract: Optional[Contract] = None,
+        hierarchy: Optional[str] = None,
+    ) -> List[QueryHandle]:
+        """Submit a batch of progressive executions, handles in order."""
+        self._require_open()
+        resolved = contract if contract is not None else self.defaults
+        return [
+            self._server.submit(self, query, resolved, hierarchy=hierarchy)
+            for query in queries
+        ]
 
     # ------------------------------------------------------------------
     # bookkeeping (called by the server)

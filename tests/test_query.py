@@ -79,3 +79,62 @@ class TestQuery:
         a = Query(table="t", predicate=Between("x", 0, 1), limit=10)
         b = Query(table="t", predicate=Between("x", 0, 1), limit=10)
         assert a.fingerprint() == b.fingerprint()
+
+
+class TestQueryImmutability:
+    """Queries are frozen and hashable: safe dict/set keys for the
+    recycler, the query log, and the handle registry."""
+
+    def test_queries_are_frozen(self):
+        q = Query(table="t")
+        with pytest.raises(Exception):  # dataclasses.FrozenInstanceError
+            q.table = "other"
+        with pytest.raises(Exception):
+            q.limit = 5
+
+    def test_sequence_clauses_normalised_to_tuples(self):
+        q = Query(
+            table="t",
+            select=["a", "b"],
+            aggregates=[AggregateSpec("count")],
+            group_by=["a"],
+            joins=[JoinSpec("d", "fk", "pk")],
+        )
+        assert isinstance(q.select, tuple)
+        assert isinstance(q.aggregates, tuple)
+        assert isinstance(q.group_by, tuple)
+        assert isinstance(q.joins, tuple)
+
+    def test_queries_are_hashable_dict_keys(self):
+        predicate = Between("x", 0, 1)
+        a = Query(table="t", predicate=predicate, limit=10)
+        b = Query(table="t", predicate=predicate, limit=10)
+        registry = {a: "first"}
+        # same clauses (and same predicate object) → same key
+        assert registry[b] == "first"
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_clauses_are_distinct_keys(self):
+        predicate = Between("x", 0, 1)
+        a = Query(table="t", predicate=predicate)
+        b = Query(table="t", predicate=predicate, limit=10)
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_list_built_queries_hash_like_tuple_built(self):
+        # normalisation makes construction-spelling irrelevant
+        predicate = Between("x", 0, 1)
+        a = Query(
+            table="t",
+            predicate=predicate,
+            aggregates=[AggregateSpec("count")],
+            group_by=["g"],
+        )
+        b = Query(
+            table="t",
+            predicate=predicate,
+            aggregates=(AggregateSpec("count"),),
+            group_by=("g",),
+        )
+        assert a == b and hash(a) == hash(b)
