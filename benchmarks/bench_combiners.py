@@ -9,7 +9,6 @@ exactly the regime where the choice matters.
 """
 
 import numpy as np
-import pytest
 
 from repro.sampling.pps import systematic_pps_sample
 from repro.workload.interest import InterestModel

@@ -23,8 +23,8 @@ Two parts:
 """
 
 import numpy as np
-import pytest
 
+from repro.bench.report import write_bench_report
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import RadialPredicate
 from repro.core.bounded import QualityContract
@@ -150,7 +150,7 @@ def _assert_identical(delta_outcome, scratch_outcome) -> None:
             ), f"group column {name!r} differs"
 
 
-def run_delta_claim(catalog, base, hierarchy, rng, n_queries: int) -> None:
+def run_delta_claim(catalog, base, hierarchy, rng, n_queries: int):
     """Claim (a): ≥2x fewer tuples charged on ≥2-rung climbs."""
     delta, scratch = _processors(catalog, hierarchy)
     contract = QualityContract(max_relative_error=0.0)
@@ -202,9 +202,15 @@ def run_delta_claim(catalog, base, hierarchy, rng, n_queries: int) -> None:
         f"delta escalation won only {ratios.min():.2f}x; need ≥2x"
     )
     print("  answers identical to the from-scratch ladder on every query ✓")
+    return {
+        "queries": len(queries),
+        "charge_ratio_mean": float(ratios.mean()),
+        "charge_ratio_min": float(ratios.min()),
+        "charge_ratio_max": float(ratios.max()),
+    }
 
 
-def run_budget_claim(catalog, base, hierarchy, rng) -> None:
+def run_budget_claim(catalog, base, hierarchy, rng):
     """Claim (b): same budget, the delta ladder reaches the exact rung."""
     delta, scratch = _processors(catalog, hierarchy)
     query = Query(
@@ -233,6 +239,13 @@ def run_budget_claim(catalog, base, hierarchy, rng) -> None:
     assert len(delta_outcome.attempts) > len(scratch_outcome.attempts)
     assert delta_outcome.total_cost <= budget
     print("  delta ladder reached the exact answer; scratch could not ✓")
+    return {
+        "budget": float(budget),
+        "delta_rungs": len(delta_outcome.attempts),
+        "scratch_rungs": len(scratch_outcome.attempts),
+        "delta_cost": float(delta_outcome.total_cost),
+        "scratch_cost": float(scratch_outcome.total_cost),
+    }
 
 
 def main() -> None:
@@ -260,8 +273,12 @@ def main() -> None:
         f"  escalation deltas (rows each rung adds): "
         f"{hierarchy.escalation_deltas()}"
     )
-    run_delta_claim(catalog, base, hierarchy, rng, n_queries)
-    run_budget_claim(catalog, base, hierarchy, rng)
+    delta = run_delta_claim(catalog, base, hierarchy, rng, n_queries)
+    budget = run_budget_claim(catalog, base, hierarchy, rng)
+    write_bench_report(
+        "escalation",
+        {"n": n, "delta": delta, "budget": budget},
+    )
     print("all delta-escalation claims hold ✓")
 
 

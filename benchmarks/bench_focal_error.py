@@ -13,9 +13,7 @@ exact answers.
 """
 
 import numpy as np
-import pytest
 
-from repro.bench.report import print_series
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import RadialPredicate
 from repro.core.quality import ImpressionEstimator

@@ -10,7 +10,6 @@ each model and compare how much of their capacity lands on phantoms.
 """
 
 import numpy as np
-import pytest
 
 from repro.sampling.pps import systematic_pps_sample
 from repro.workload.interest import CoupledInterest, InterestModel

@@ -11,7 +11,6 @@ the largest N beats f̂'s by a wide margin.
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench.report import print_series
 from repro.stats.bandwidth import silverman_bandwidth

@@ -8,8 +8,6 @@ Shape check: refresh cost tracks the layer-below size; the ratio to a
 base rebuild is the base/layer-0 size ratio.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.maintenance import rebuild_from_base, refresh_hierarchy
 from repro.core.policy import UniformPolicy, build_hierarchy

@@ -20,6 +20,7 @@ Standalone benchmark (``python benchmarks/bench_progressive.py
 
 import numpy as np
 
+from repro.bench.report import write_bench_report
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import RadialPredicate
 from repro.core.bounded import BoundedQueryProcessor
@@ -109,7 +110,7 @@ def _assert_identical(streamed, blocking) -> None:
     assert streamed.total_cost == blocking.total_cost
 
 
-def run_identity_and_overhead_claim(catalog, hierarchy, rng, n_queries) -> None:
+def run_identity_and_overhead_claim(catalog, hierarchy, rng, n_queries):
     """Claims (a) + (b): identical answers, ≤5% extra tuples charged."""
     processor = BoundedQueryProcessor(catalog, hierarchy)
     contract = Contract.within_error(0.0)  # climbs the whole ladder
@@ -141,9 +142,15 @@ def run_identity_and_overhead_claim(catalog, hierarchy, rng, n_queries) -> None:
         f"path; must stay ≤1.05x"
     )
     print("  streamed answers byte-identical to blocking execute ✓")
+    return {
+        "queries": int(ratios.shape[0]),
+        "charge_ratio_mean": float(ratios.mean()),
+        "charge_ratio_max": float(ratios.max()),
+        "rungs_per_climb": sorted(set(climbs)),
+    }
 
 
-def run_cancel_claim(catalog, hierarchy, rng) -> None:
+def run_cancel_claim(catalog, hierarchy, rng):
     """Claim (c): cancel after rung 1 scans nothing further."""
     processor = BoundedQueryProcessor(catalog, hierarchy)
     contract = Contract.within_error(0.0)
@@ -165,6 +172,10 @@ def run_cancel_claim(catalog, hierarchy, rng) -> None:
     assert outcome.total_cost == first.spent
     assert not outcome.met_quality  # the zero-error bound was not met
     print("  best-so-far answer kept, no further tuples charged ✓")
+    return {
+        "charged_at_cancel": float(charged_at_cancel),
+        "total_cost": float(outcome.total_cost),
+    }
 
 
 def main() -> None:
@@ -188,8 +199,12 @@ def main() -> None:
         f"{[imp.size for imp in hierarchy.layers]} "
         f"({'smoke' if args.smoke else 'full'})"
     )
-    run_identity_and_overhead_claim(catalog, hierarchy, rng, n_queries)
-    run_cancel_claim(catalog, hierarchy, rng)
+    overhead = run_identity_and_overhead_claim(catalog, hierarchy, rng, n_queries)
+    cancel = run_cancel_claim(catalog, hierarchy, rng)
+    write_bench_report(
+        "progressive",
+        {"n": n, "overhead": overhead, "cancel": cancel},
+    )
     print("all progressive-execution claims hold ✓")
 
 

@@ -8,7 +8,6 @@ monotonically with budget, and an unbounded budget reaches exactness.
 """
 
 import numpy as np
-import pytest
 
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import RadialPredicate

@@ -9,7 +9,6 @@ with focal resolution.
 """
 
 import numpy as np
-import pytest
 
 from repro.sampling.pps import systematic_pps_sample
 from repro.stats.estimators import ht_count

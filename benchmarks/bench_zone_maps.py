@@ -30,6 +30,7 @@ from repro.columnstore.expressions import RadialPredicate
 from repro.columnstore.plan import estimate_cost
 from repro.columnstore.query import AggregateSpec, Query
 from repro.columnstore.table import Table
+from repro.bench.report import write_bench_report
 from repro.core.bounded import BoundedQueryProcessor, QualityContract
 from repro.core.maintenance import rebuild_from_base
 from repro.core.policy import UniformPolicy, build_hierarchy
@@ -113,6 +114,12 @@ def run_pruning_claim(pruned_catalog, flat_catalog, rng, n_queries: int):
         f"pruning won only {ratios.min():.2f}x on the worst query; need ≥3x"
     )
     print("  results byte-identical on every query ✓")
+    return {
+        "queries": n_queries,
+        "charge_ratio_mean": float(ratios.mean()),
+        "charge_ratio_min": float(ratios.min()),
+        "charge_ratio_max": float(ratios.max()),
+    }
 
 
 def run_budget_claim(pruned_catalog, flat_catalog, rng, layer_sizes):
@@ -172,6 +179,13 @@ def run_budget_claim(pruned_catalog, flat_catalog, rng, layer_sizes):
     )
     assert pruned.total_cost <= budget
     print("  pruned ladder reached the exact answer; flat could not ✓")
+    return {
+        "budget": float(budget),
+        "pruned_rungs": len(pruned.attempts),
+        "flat_rungs": len(flat.attempts),
+        "pruned_error": float(pruned.achieved_error),
+        "flat_error": float(flat.achieved_error),
+    }
 
 
 def main() -> None:
@@ -193,8 +207,17 @@ def main() -> None:
         f"zone-map benchmark: n={n} block_size={block_size} "
         f"({'smoke' if args.smoke else 'full'})"
     )
-    run_pruning_claim(pruned_catalog, flat_catalog, rng, n_queries)
-    run_budget_claim(pruned_catalog, flat_catalog, rng, layer_sizes)
+    pruning = run_pruning_claim(pruned_catalog, flat_catalog, rng, n_queries)
+    budget = run_budget_claim(pruned_catalog, flat_catalog, rng, layer_sizes)
+    write_bench_report(
+        "zone_maps",
+        {
+            "n": n,
+            "block_size": block_size,
+            "pruning": pruning,
+            "budget": budget,
+        },
+    )
     print("all zone-map claims hold ✓")
 
 

@@ -9,7 +9,6 @@ histograms decay, and maintenance refreshes the impressions — after
 which the small layers have re-focused on the new region.
 """
 
-import numpy as np
 
 from repro import SciBorq
 from repro.skyserver import (

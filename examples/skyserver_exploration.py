@@ -11,7 +11,6 @@ paper's LIMIT semantics (§3.2): representative rows instead of "the
 lucky N first tuples".
 """
 
-import numpy as np
 
 from repro import AggregateSpec, Contract, Query, SciBorq
 from repro.skyserver import (

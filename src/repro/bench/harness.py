@@ -8,7 +8,7 @@ properties and the benchmarks only add timing and printing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

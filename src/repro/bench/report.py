@@ -1,18 +1,64 @@
-"""Text rendering of benchmark output.
+"""Text rendering of benchmark output, plus machine-readable reports.
 
 The paper's figures become printed panels: histograms as bar rows,
 density curves as (x, y) series tables.  Everything goes through
 these two helpers so ``pytest benchmarks/ -s`` output is uniform and
 diff-able between runs.
+
+:func:`write_bench_report` is the machine-readable counterpart: each
+standalone ``--smoke`` benchmark dumps its headline metrics to a
+``BENCH_<name>.json`` file (CI uploads them as workflow artifacts, so
+the performance trajectory survives across runs and can be diffed
+between commits).
 """
 
 from __future__ import annotations
 
+import json
+import os
+from datetime import datetime, timezone
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.util.textplot import ascii_histogram, format_table
+
+
+def _jsonify(value):
+    """Fallback encoder: numpy scalars/arrays into plain JSON types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    raise TypeError(f"not JSON serialisable: {value!r} ({type(value)})")
+
+
+def write_bench_report(
+    name: str, metrics: Mapping[str, object], out_dir: str | None = None
+) -> str:
+    """Write ``BENCH_<name>.json`` with ``metrics`` and a timestamp.
+
+    ``out_dir`` defaults to ``$BENCH_REPORT_DIR`` (created if needed)
+    or the current directory.  Returns the path written.  Metrics may
+    contain numpy scalars/arrays; they are converted on the way out.
+    """
+    directory = out_dir or os.environ.get("BENCH_REPORT_DIR") or "."
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "written_at": datetime.now(timezone.utc).isoformat(),
+        "metrics": dict(metrics),
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=_jsonify)
+        handle.write("\n")
+    print(f"bench report written: {path}")
+    return path
 
 
 def print_series(

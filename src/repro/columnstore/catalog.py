@@ -9,7 +9,7 @@ sampling time, long before any query runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import Dict
 
 from repro.columnstore.query import Query
 from repro.columnstore.table import Table

@@ -18,7 +18,7 @@ accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.columnstore.table import Table
 from repro.errors import QueryError
 from repro.util.clock import CostClock, ExecutionContext, WallClock
 from repro.util.concurrency import MorselPool, shared_scan_pool
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (core imports us)
+    from repro.core.scheduler import SharedScanScheduler
 
 
 @dataclass
@@ -120,6 +123,21 @@ class Executor:
         ``parallel_scans=False`` to force serial scans.
     parallel_scans:
         Whether selections may fan out across the scan pool.
+    scheduler:
+        Optional shared-scan batch scheduler
+        (:class:`~repro.core.scheduler.SharedScanScheduler`).  When
+        set, non-recycled selections enrol in its convoys so
+        concurrent queries scanning the same table share one pass;
+        per-query indices, stats, and charges stay byte-identical to
+        solo scans.  A convoy pass runs on the *scheduler's* morsel
+        pool (it serves many executors at once, so no single
+        executor's ``scan_pool`` can apply); an executor-specific pool
+        governs solo scans only, and serial-forced executors
+        (``parallel_scans=False``) never enrol.  Installed engine-wide by
+        :meth:`repro.core.engine.SciBorq.set_scan_scheduler` (the
+        server layer does so on construction); contexts opened for
+        sessions that opted out carry ``shared_scans=False`` and
+        bypass it.
     """
 
     def __init__(
@@ -129,10 +147,12 @@ class Executor:
         recycler: Optional[Recycler] = None,
         scan_pool: Optional[MorselPool] = None,
         parallel_scans: bool = True,
+        scheduler: Optional["SharedScanScheduler"] = None,
     ) -> None:
         self.catalog = catalog
         self.clock = clock if clock is not None else CostClock()
         self.recycler = recycler
+        self.scheduler = scheduler
         if not parallel_scans:
             self.scan_pool: Optional[MorselPool] = None
         else:
@@ -195,6 +215,14 @@ class Executor:
         complements): the recycler's ``(name, version, fingerprint)``
         key cannot tell such generations apart, so caching them would
         serve stale index vectors after sampler churn.
+
+        With a :attr:`scheduler` installed (and the context not opted
+        out), the scan enrols in the scheduler's convoy for ``source``
+        instead of running alone — same indices, same stats, same
+        charge, shared wall-clock.  Serial-forced executors
+        (``parallel_scans=False``) never enrol: their contract is that
+        scans run serially in the calling thread, and a convoy pass
+        would fan them over the scheduler's pool.
         """
         if recycle and self.recycler is not None:
             cached = self.recycler.lookup(source, predicate)
@@ -204,8 +232,15 @@ class Executor:
                     OperatorStats("select(recycled)", 0, cached.shape[0]),
                     True,
                 )
-        indices, op = operators.select(source, predicate, pool=self.scan_pool)
-        context.charge(op.cost)
+        if (
+            self.scheduler is not None
+            and context.shared_scans
+            and self.scan_pool is not None
+        ):
+            indices, op = self.scheduler.scan(source, predicate, context)
+        else:
+            indices, op = operators.select(source, predicate, pool=self.scan_pool)
+            context.charge(op.cost)
         if recycle and self.recycler is not None:
             self.recycler.store(source, predicate, indices)
         return indices, op, False

@@ -183,6 +183,88 @@ def select(
     return indices, stats
 
 
+def select_shared(
+    table: Table,
+    predicates: Sequence[Expression],
+    pool: Optional[MorselPool] = None,
+    parallel_min_rows: int = PARALLEL_MIN_ROWS,
+) -> List[Tuple[np.ndarray, OperatorStats] | Exception]:
+    """Evaluate several predicates over ``table`` in one shared pass.
+
+    The multi-consumer counterpart of :func:`select`, used by the
+    shared-scan scheduler (:mod:`repro.core.scheduler`): each block
+    run survives zone-map pruning *per predicate* — so every consumer
+    is charged exactly what its solo scan would have been — but the
+    pass walks the table once, evaluating all consumers' predicates
+    morsel by morsel (in parallel on ``pool`` when the combined work
+    is worth it).
+
+    Returns one entry per predicate, in order: ``(indices, stats)``
+    byte-identical to what ``select(table, predicate, pool)`` would
+    have produced, or the exception that predicate's own solo scan
+    would have raised (a bad predicate fails only its own consumer,
+    never the whole batch).
+    """
+    outcomes: List[Tuple[np.ndarray, OperatorStats] | Exception | None] = [
+        None
+    ] * len(predicates)
+    plans: Dict[int, Tuple[List[Tuple[int, int]], int, int, int]] = {}
+    for i, predicate in enumerate(predicates):
+        try:
+            plans[i] = scan_plan(table, predicate)
+        except Exception as exc:  # noqa: BLE001 - per-consumer isolation
+            outcomes[i] = exc
+    block_size = table.block_size or table.num_rows
+    tasks: List[Tuple[int, Tuple[int, int]]] = []
+    for i, (runs, _rows, _scanned, _pruned) in plans.items():
+        tasks.extend((i, morsel) for morsel in _morsels(runs, max(block_size, 1)))
+
+    def scan_task(
+        task: Tuple[int, Tuple[int, int]]
+    ) -> np.ndarray | Exception:
+        i, (start, stop) = task
+        try:
+            mask = predicates[i].evaluate(_BlockView(table, start, stop))
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+        except Exception as exc:  # noqa: BLE001 - per-consumer isolation
+            return exc
+
+    total_rows = sum(rows for _runs, rows, _s, _p in plans.values())
+    if pool is not None and len(tasks) > 1 and total_rows >= parallel_min_rows:
+        fragments = pool.map(scan_task, tasks)
+    else:
+        fragments = [scan_task(task) for task in tasks]
+
+    per_predicate: Dict[int, List[np.ndarray]] = {i: [] for i in plans}
+    for (i, _morsel), fragment in zip(tasks, fragments):
+        if isinstance(fragment, Exception):
+            if outcomes[i] is None:
+                outcomes[i] = fragment
+        else:
+            per_predicate[i].append(fragment)
+    for i, (_runs, rows_to_scan, blocks_scanned, blocks_pruned) in plans.items():
+        if outcomes[i] is not None:
+            continue  # this consumer's scan failed
+        pieces = per_predicate[i]
+        if not pieces:
+            indices = np.empty(0, dtype=np.int64)
+        elif len(pieces) > 1:
+            indices = np.concatenate(pieces)
+        else:
+            indices = pieces[0]
+        outcomes[i] = (
+            indices,
+            OperatorStats(
+                "select",
+                rows_to_scan,
+                int(indices.shape[0]),
+                blocks_scanned=blocks_scanned,
+                blocks_pruned=blocks_pruned,
+            ),
+        )
+    return outcomes  # type: ignore[return-value]
+
+
 # ----------------------------------------------------------------------
 # join
 # ----------------------------------------------------------------------

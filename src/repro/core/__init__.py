@@ -22,6 +22,9 @@
 * :mod:`repro.core.maintenance` — refresh layers from the layer
   below, decay interest, react to drift.
 * :mod:`repro.core.engine` — :class:`SciBorq`, the one-stop facade.
+* :mod:`repro.core.scheduler` — the shared-scan batch scheduler:
+  concurrent queries scanning the same table convoy on one block
+  scan, with per-query answers and charges identical to solo runs.
 * :mod:`repro.core.server` / :mod:`repro.core.session` — the
   concurrent multi-session layer: one shared engine behind a
   readers-writer lock, per-user sessions with isolated cost
@@ -47,6 +50,7 @@ from repro.core.bounded import (
     BoundedQueryProcessor,
 )
 from repro.core.engine import SciBorq
+from repro.core.scheduler import SchedulerStats, SharedScanScheduler
 from repro.core.session import Session, SessionStats
 from repro.core.server import SciBorqServer
 from repro.core.persistence import (
@@ -77,6 +81,8 @@ __all__ = [
     "BoundedQueryProcessor",
     "SciBorq",
     "SciBorqServer",
+    "SchedulerStats",
+    "SharedScanScheduler",
     "Session",
     "SessionStats",
 ]

@@ -166,6 +166,15 @@ class BoundedQueryProcessor:
         over the previous one.  On by default; the from-scratch ladder
         remains available for comparison (the escalation benchmark
         pins the two paths' answers against each other).
+    scheduler:
+        Optional shared-scan batch scheduler
+        (:class:`~repro.core.scheduler.SharedScanScheduler`): rung
+        scans — impression, delta, complement, and base — become
+        schedulable work items that convoy with other in-flight
+        queries scanning the same table.  Per-query answers and
+        charges are unchanged; see :meth:`use_scan_scheduler` for
+        installing one after construction (the engine does this when
+        a server attaches).
     """
 
     def __init__(
@@ -174,13 +183,16 @@ class BoundedQueryProcessor:
         hierarchy: ImpressionHierarchy,
         clock: Optional[CostClock | WallClock] = None,
         delta_escalation: bool = True,
+        scheduler=None,
     ) -> None:
         self.catalog = catalog
         self.hierarchy = hierarchy
         self.delta_escalation = delta_escalation
         self.clock = clock if clock is not None else CostClock()
-        self.estimator = ImpressionEstimator(catalog, clock=self.clock)
-        self._base_executor = Executor(catalog, clock=self.clock)
+        self.estimator = ImpressionEstimator(
+            catalog, clock=self.clock, scheduler=scheduler
+        )
+        self._base_executor = Executor(catalog, clock=self.clock, scheduler=scheduler)
         # wall-clock mode: tuples-per-second throughput, calibrated
         # from observed rung executions (None until the first rung);
         # concurrent sessions share one processor, so the blend is
@@ -191,6 +203,16 @@ class BoundedQueryProcessor:
     def new_context(self, limit: Optional[float] = None) -> ExecutionContext:
         """Open a per-query context observed by this processor's clock."""
         return ExecutionContext(clock=self.clock, limit=limit)
+
+    def use_scan_scheduler(self, scheduler) -> None:
+        """Route every rung scan through a shared-scan scheduler.
+
+        Applies to both scan paths — the delta-escalation fold scans
+        (:meth:`_scan_foldable` via the base executor) and the
+        from-scratch estimator scans.  Pass ``None`` to detach.
+        """
+        self._base_executor.scheduler = scheduler
+        self.estimator.use_scan_scheduler(scheduler)
 
     def _budget_units(
         self, predicted_cost: float, context: ExecutionContext
@@ -339,6 +361,7 @@ class BoundedQueryProcessor:
                     continue
             spent_before = context.spent
             charged_before = context.charged_units
+            shared_before = context.shared_units
             scanned: Optional[int] = None
             try:
                 if foldable:
@@ -393,8 +416,13 @@ class BoundedQueryProcessor:
                 )
                 continue
             attempt_error = result.worst_relative_error
+            # calibrate from work this rung *performed*: charges served
+            # by the shared-scan scheduler took no wall time here, and
+            # blending them in would record an absurd tuples/sec rate
+            # that breaks later time-budget conversions
             self._observe_throughput(
-                context.charged_units - charged_before,
+                (context.charged_units - charged_before)
+                - (context.shared_units - shared_before),
                 context.spent - spent_before,
                 context,
             )

@@ -136,6 +136,10 @@ class SciBorq:
         self._base_executor = Executor(
             catalog, clock=self.clock, recycler=self.recycler
         )
+        # shared-scan batch scheduler (installed by the server layer):
+        # applied to every processor, existing and future, so rung
+        # scans of concurrent queries can convoy (see core/scheduler).
+        self._scan_scheduler = None
         # Serialises workload bookkeeping (query log, predicate
         # collector, interest, drift) so concurrent sessions can share
         # one engine; the server layer relies on this.
@@ -181,7 +185,12 @@ class SciBorq:
                 self.builder.detach(impression)
         table_hierarchies[hierarchy_name] = hierarchy
         self._processors.setdefault(table, {})[hierarchy_name] = (
-            BoundedQueryProcessor(self.catalog, hierarchy, clock=self.clock)
+            BoundedQueryProcessor(
+                self.catalog,
+                hierarchy,
+                clock=self.clock,
+                scheduler=self._scan_scheduler,
+            )
         )
         if make_default or table not in self._default_hierarchy:
             self._default_hierarchy[table] = hierarchy_name
@@ -302,6 +311,28 @@ class SciBorq:
         if self.builder not in self.loader.observers_of(table):
             self.loader.register(table, self.builder)
         return reservoir
+
+    def set_scan_scheduler(self, scheduler) -> None:
+        """Install (or remove, with ``None``) a shared-scan scheduler.
+
+        Routes every selection — rung scans of all bounded processors
+        plus base-data scans — through the scheduler's convoys so
+        concurrent queries over the same table share one block scan
+        (:mod:`repro.core.scheduler`).  Applied retroactively to
+        existing processors and automatically to hierarchies created
+        later.  The server layer calls this on construction; results
+        and per-query charges are unaffected either way.
+        """
+        self._scan_scheduler = scheduler
+        self._base_executor.scheduler = scheduler
+        for named in self._processors.values():
+            for processor in named.values():
+                processor.use_scan_scheduler(scheduler)
+
+    @property
+    def scan_scheduler(self):
+        """The installed shared-scan scheduler, or ``None``."""
+        return self._scan_scheduler
 
     def self_tuning_sample(self, table: str) -> SelfTuningReservoir:
         """The self-tuning reservoir for ``table`` (raises if absent)."""

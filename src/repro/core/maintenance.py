@@ -33,12 +33,12 @@ from repro.core.impression import Impression
 from repro.errors import ImpressionError
 from repro.sampling.biased import BiasedReservoir
 from repro.util.clock import CostClock, ExecutionContext, WallClock
+from repro.workload.drift import DriftDetector
+from repro.workload.interest import InterestModel
 
 #: Anything maintenance can charge its streaming cost to — a session
 #: clock or a writer's execution context.
 ChargeTarget = CostClock | WallClock | ExecutionContext
-from repro.workload.drift import DriftDetector
-from repro.workload.interest import InterestModel
 
 
 @dataclass

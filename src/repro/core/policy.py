@@ -21,7 +21,7 @@ maintenance path as the cheap refresh route (paper §3.1, benchmark E9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.core.hierarchy import ImpressionHierarchy

@@ -20,7 +20,7 @@ to escalate to a more detailed layer.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -130,6 +130,10 @@ class ImpressionEstimator:
         to :meth:`estimate`.
     confidence:
         Default confidence level for all intervals.
+    scheduler:
+        Optional shared-scan batch scheduler, forwarded to the
+        internal executor so impression scans of concurrent queries
+        can share one pass (see :mod:`repro.core.scheduler`).
     """
 
     def __init__(
@@ -137,11 +141,16 @@ class ImpressionEstimator:
         catalog: Catalog,
         clock: Optional[CostClock | WallClock] = None,
         confidence: float = 0.95,
+        scheduler=None,
     ) -> None:
         self.catalog = catalog
         self.clock = clock if clock is not None else CostClock()
         self.confidence = confidence
-        self._executor = Executor(catalog, clock=self.clock)
+        self._executor = Executor(catalog, clock=self.clock, scheduler=scheduler)
+
+    def use_scan_scheduler(self, scheduler) -> None:
+        """(Re)target impression scans at a shared-scan scheduler."""
+        self._executor.scheduler = scheduler
 
     # ------------------------------------------------------------------
     def estimate(

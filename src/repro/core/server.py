@@ -23,6 +23,16 @@ serving layer for the reproduction:
   :meth:`Session.execute_many <repro.core.session.Session.execute_many>`)
   fan a batch out over a thread pool; NumPy releases the GIL inside
   the scan kernels, so concurrent sessions overlap on real cores.
+* **Shared scans.**  Concurrent queries probing the same table convoy
+  on one block scan: the server installs a
+  :class:`~repro.core.scheduler.SharedScanScheduler` into the engine,
+  so in-flight rung scans of the same (materialised) table execute as
+  one shared pass, with equal predicates evaluated once.  Per-query
+  answers, tuples charged, and progress streams are byte-identical to
+  solo execution — the scheduler buys wall-clock throughput, never
+  accounting shortcuts.  Sessions may opt out per user
+  (``open_session(shared_scans=False)``); ``batch_window`` configures
+  how long a lone scan waits for co-runners (default: never).
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from repro.core.contracts import Contract
 from repro.core.engine import SciBorq
 from repro.core.handle import QueryHandle
 from repro.core.maintenance import RefreshReport
+from repro.core.scheduler import SharedScanScheduler
 from repro.core.session import Session
 from repro.errors import SessionError
 from repro.util.clock import ExecutionContext
@@ -62,10 +73,21 @@ class SciBorqServer:
         Thread-pool width for :meth:`execute_many`; defaults to the
         machine's core count (capped at 8 — scans are memory-bound
         well before that).
+    shared_scans:
+        Whether to install a shared-scan batch scheduler into the
+        engine (default on).  Individual sessions can still opt out.
+    batch_window:
+        Scheduler batching window in seconds — how long a scan that
+        would otherwise run alone waits for co-runners.  The default
+        ``0.0`` never stalls anyone; convoys still form under load.
     """
 
     def __init__(
-        self, engine: SciBorq, max_workers: Optional[int] = None
+        self,
+        engine: SciBorq,
+        max_workers: Optional[int] = None,
+        shared_scans: bool = True,
+        batch_window: float = 0.0,
     ) -> None:
         self.engine = engine
         if max_workers is None:
@@ -73,6 +95,17 @@ class SciBorqServer:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.scheduler: Optional[SharedScanScheduler] = (
+            SharedScanScheduler(window=batch_window) if shared_scans else None
+        )
+        #: Whatever the engine carried before this server took over;
+        #: shutdown restores it, so an earlier owner is not left
+        #: permanently detached by a later owner's exit.
+        self._previous_scheduler = engine.scan_scheduler
+        if self.scheduler is not None:
+            # shared_scans=False leaves any externally-installed
+            # scheduler on the engine untouched
+            engine.set_scan_scheduler(self.scheduler)
         self._rwlock = ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sciborq"
@@ -94,12 +127,17 @@ class SciBorqServer:
         time_budget: Optional[float] = None,
         confidence: Optional[float] = None,
         strict: bool = False,
+        shared_scans: bool = True,
     ) -> Session:
         """Open a new session with its own default contract.
 
         ``contract`` is the session's default :class:`Contract`; the
         per-field keywords are the deprecated spelling (the
         :class:`Session` constructor resolves and warns).
+        ``shared_scans=False`` keeps this user's scans out of the
+        server's shared-scan convoys (answers and charges are
+        identical either way; opting out only forgoes the wall-clock
+        sharing).
         """
         self._require_open()
         with self._admin_lock:
@@ -114,6 +152,7 @@ class SciBorqServer:
                 time_budget=time_budget,
                 confidence=confidence,
                 strict=strict,
+                shared_scans=shared_scans,
             )
             self._sessions[session_id] = session
             return session
@@ -158,6 +197,7 @@ class SciBorqServer:
                 clock=self.engine.clock,
                 limit=contract.time_budget,
                 observers=(session.clock,),
+                shared_scans=session.shared_scans,
             )
             outcome = self.engine.execute(
                 query, contract, hierarchy=hierarchy, context=context
@@ -199,6 +239,7 @@ class SciBorqServer:
                 clock=self.engine.clock,
                 limit=contract.time_budget,
                 observers=(session.clock,),
+                shared_scans=session.shared_scans,
             ),
         )
         handle.mark_driven()
@@ -262,23 +303,35 @@ class SciBorqServer:
     ) -> List[BoundedResult]:
         """Submit fully-specified jobs to the pool; gather in order.
 
-        Every job runs to completion before anything is raised.  With
-        ``return_exceptions`` the result list carries each failed
-        job's exception in its slot (strict-contract batches routinely
-        mix successes and :class:`~repro.errors.QualityBoundError`);
-        otherwise the first failure is re-raised after the gather.
+        Every job runs to completion before anything is raised — one
+        bad query never aborts its batch-mates.  Each failed job's
+        exception is annotated with the job that caused it (``query``
+        and ``session`` attributes), so a caller catching the
+        re-raised first failure — or sifting a ``return_exceptions``
+        result list, which carries each failure in its slot
+        (strict-contract batches routinely mix successes and
+        :class:`~repro.errors.QualityBoundError`) — can tell *which*
+        submission failed without correlating list positions by hand.
         """
         self._require_open()
+        jobs = list(jobs)  # a one-shot iterator must survive the re-walk below
         futures = [
             self._pool.submit(self.execute, session, query, contract, hierarchy)
             for session, query, contract, hierarchy in jobs
         ]
         gathered: List[BoundedResult] = []
         first_error: Optional[BaseException] = None
-        for future in futures:
+        for future, (session, query, _contract, _hierarchy) in zip(futures, jobs):
             try:
                 gathered.append(future.result())
             except BaseException as exc:  # noqa: BLE001 - re-raised below
+                # annotate with the originating job; best-effort (an
+                # exception type with __slots__ simply stays bare)
+                try:
+                    exc.query = query
+                    exc.session = session
+                except AttributeError:  # pragma: no cover - exotic type
+                    pass
                 if first_error is None:
                     first_error = exc
                 gathered.append(exc)  # type: ignore[arg-type]
@@ -329,7 +382,9 @@ class SciBorqServer:
         session._require_open()
         with self._rwlock.read_locked():
             context = ExecutionContext(
-                clock=self.engine.clock, observers=(session.clock,)
+                clock=self.engine.clock,
+                observers=(session.clock,),
+                shared_scans=session.shared_scans,
             )
             result = self.engine.execute_exact(query, context=context)
         session.query_log.record(query)
@@ -350,13 +405,25 @@ class SciBorqServer:
             raise SessionError("server is shut down")
 
     def shutdown(self, wait: bool = True) -> None:
-        """Close every session and stop the pool (idempotent)."""
+        """Close every session and stop the pool (idempotent).
+
+        Also hands the engine's scan scheduler back: if this server's
+        scheduler is still the installed one, whatever was installed
+        before this server took over is restored (``None`` for the
+        common single-owner case, so direct engine use runs plain solo
+        scans again); a later owner's scheduler is never clobbered.
+        """
         if self._closed:
             return
         self._closed = True
         for session in self.sessions:
             session.close()
         self._pool.shutdown(wait=wait)
+        if (
+            self.scheduler is not None
+            and self.engine.scan_scheduler is self.scheduler
+        ):
+            self.engine.set_scan_scheduler(self._previous_scheduler)
 
     def summary(self) -> str:
         """Server state overview for examples and debugging."""
@@ -371,6 +438,8 @@ class SciBorqServer:
             f"  engine clock (all sessions + maintenance): "
             f"{self.engine.clock.now:g}"
         )
+        if self.scheduler is not None:
+            lines.append(f"  {self.scheduler.stats.describe()}")
         return "\n".join(lines)
 
     def __enter__(self) -> "SciBorqServer":

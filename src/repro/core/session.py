@@ -74,6 +74,11 @@ class Session:
     max_relative_error / time_budget / confidence / strict:
         Deprecated per-field spelling of ``contract``; cannot be
         combined with it.
+    shared_scans:
+        Whether this user's scans may join the server's shared-scan
+        convoys (:mod:`repro.core.scheduler`).  On by default —
+        sharing changes wall-clock only, never answers or charges;
+        opting out pins every scan of this session to the solo path.
     """
 
     def __init__(
@@ -86,10 +91,14 @@ class Session:
         time_budget: Optional[float] = None,
         confidence: Optional[float] = None,
         strict: bool = False,
+        shared_scans: bool = True,
     ) -> None:
         self._server = server
         self.session_id = session_id
         self.name = name if name is not None else f"session-{session_id}"
+        #: Enrolment in the server's shared-scan convoys; carried into
+        #: every execution context the server opens for this session.
+        self.shared_scans = shared_scans
         legacy = legacy_contract(
             max_relative_error,
             time_budget,

@@ -24,12 +24,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy.stats import norm
 
 from repro.errors import EstimationError
 from repro.util.validation import require, require_in_range
+
+
+@lru_cache(maxsize=64)
+def _z_quantile(confidence: float) -> float:
+    """Normal quantile for a two-sided confidence level, memoised.
+
+    ``norm.ppf`` costs ~40µs per call through scipy's argument
+    machinery; every :class:`Estimate` consults it (often several
+    times — half-width, CI, relative error), and a workload uses a
+    handful of confidence levels at most, so this cache takes the
+    quantile off the bounded-execution hot path entirely.
+    """
+    return float(norm.ppf(0.5 + confidence / 2.0))
 
 
 @dataclass(frozen=True)
@@ -52,7 +66,7 @@ class Estimate:
     @property
     def z(self) -> float:
         """Normal quantile for the two-sided confidence level."""
-        return float(norm.ppf(0.5 + self.confidence / 2.0))
+        return _z_quantile(self.confidence)
 
     @property
     def half_width(self) -> float:

@@ -111,6 +111,11 @@ class ExecutionContext:
         Additional clocks to forward every charge to — e.g. a
         session's aggregate clock plus the engine's global clock.
         Observers are write-only from the context's point of view.
+    shared_scans:
+        Whether this execution's scans may enrol in a shared-scan
+        convoy (:mod:`repro.core.scheduler`).  Per-execution because
+        enrolment is a per-user choice (sessions opt out wholesale);
+        sharing never changes results or charges, only wall-clock.
     """
 
     def __init__(
@@ -118,13 +123,16 @@ class ExecutionContext:
         clock: Optional[AnyClock] = None,
         limit: Optional[float] = None,
         observers: Sequence[AnyClock] = (),
+        shared_scans: bool = True,
     ) -> None:
         if limit is not None and limit < 0:
             raise ValueError(f"context limit must be non-negative, got {limit}")
         self.limit = limit
+        self.shared_scans = shared_scans
         self._wall = clock if isinstance(clock, WallClock) else None
         self._ticks = 0.0
         self._charged = 0.0
+        self._shared = 0.0
         forwarded = []
         if clock is not None and self._wall is None:
             forwarded.append(clock)
@@ -156,6 +164,26 @@ class ExecutionContext:
         just the work predicted.
         """
         return self._charged
+
+    @property
+    def shared_units(self) -> float:
+        """Charged units whose work another query's scan performed.
+
+        The shared-scan scheduler charges a memo- or convoy-served
+        query its full solo cost (accounting honesty) while spending
+        almost no wall time on it.  Wall-mode throughput calibration
+        must exclude these units — ``charged_units - shared_units`` is
+        the work this execution actually performed — or one shared
+        serve would record a near-infinite tuples/sec rate and break
+        every later time-budget conversion.
+        """
+        return self._shared
+
+    def note_shared(self, units: float) -> None:
+        """Record that ``units`` of this context's charges were shared."""
+        if units < 0:
+            raise ValueError(f"cannot note negative shared units: {units}")
+        self._shared += units
 
     @property
     def remaining(self) -> float:

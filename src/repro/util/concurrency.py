@@ -16,6 +16,14 @@ pool.  Numpy releases the GIL inside its comparison kernels, so this
 is real parallelism on multi-core hosts, and a process-wide singleton
 (:func:`shared_scan_pool`) keeps the thread count bounded no matter
 how many executors and sessions exist.
+
+:class:`Combiner` is the third primitive: a flat-combining batch
+queue.  Concurrent callers enqueue items; whichever caller finds the
+queue idle becomes the *leader*, executes everybody's pending items in
+one call, and hands each caller its own result.  The shared-scan
+scheduler (:mod:`repro.core.scheduler`) builds its batching windows on
+it — LifeRaft-style convoys form under queue pressure without any
+caller ever stalling when it is alone.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import Callable, Iterator, List, Sequence, TypeVar
+from typing import Callable, Generic, Iterator, List, Optional, Sequence, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -154,6 +162,94 @@ class MorselPool:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
+
+
+class Combiner(Generic[_T, _R]):
+    """A flat-combining batch queue: one leader serves all waiters.
+
+    :meth:`run` enqueues an item.  If nobody is currently executing, the
+    caller becomes the leader: it grabs *every* pending item (its own
+    included), runs the supplied batch function once, and distributes
+    the per-item results; callers whose items were grabbed simply wake
+    up with their result.  Items that arrive while a leader is working
+    queue up and form the next batch — convoys emerge under load, and a
+    lone caller executes immediately with zero added latency.
+
+    ``window`` adds an optional batching window: a leader that would
+    otherwise run alone first waits up to ``window`` seconds for
+    co-arrivals (any arrival wakes it early).  The default of ``0.0``
+    never stalls anyone.
+
+    The batch function receives the items in arrival order and must
+    return one result per item, in the same order.  If it raises, every
+    member of that batch sees the exception.
+    """
+
+    class _Slot:
+        __slots__ = ("item", "result", "error", "pending")
+
+        def __init__(self, item) -> None:
+            self.item = item
+            self.result = None
+            self.error: Optional[BaseException] = None
+            self.pending = True
+
+    def __init__(self, window: float = 0.0) -> None:
+        if window < 0:
+            raise ValueError(f"window must be non-negative, got {window}")
+        self.window = window
+        self._cond = threading.Condition()
+        self._pending: List["Combiner._Slot"] = []
+        self._busy = False
+
+    def run(
+        self, item: _T, execute: Callable[[List[_T]], Sequence[_R]]
+    ) -> _R:
+        """Submit ``item``; return its result once some batch ran it."""
+        slot = Combiner._Slot(item)
+        with self._cond:
+            self._pending.append(slot)
+            self._cond.notify_all()  # wake a leader waiting out its window
+            while slot.pending and self._busy:
+                self._cond.wait()
+            if slot.pending:
+                # nobody is leading: this caller takes the batch
+                self._busy = True
+                if self.window > 0 and len(self._pending) == 1:
+                    self._cond.wait(self.window)
+                batch = self._pending
+                self._pending = []
+        if not slot.pending:
+            # a leader served this slot while we waited
+            if slot.error is not None:
+                raise slot.error
+            return slot.result  # type: ignore[return-value]
+        results: Optional[Sequence[_R]] = None
+        error: Optional[BaseException] = None
+        try:
+            results = execute([s.item for s in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch function returned {len(results)} results "
+                    f"for {len(batch)} items"
+                )
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            error = exc
+        with self._cond:
+            if error is None:
+                assert results is not None
+                for member, result in zip(batch, results):
+                    member.result = result
+                    member.pending = False
+            else:
+                for member in batch:
+                    member.error = error
+                    member.pending = False
+            self._busy = False
+            self._cond.notify_all()
+        if slot.error is not None:
+            raise slot.error
+        return slot.result  # type: ignore[return-value]
 
 
 _shared_pool: MorselPool | None = None

@@ -9,7 +9,7 @@ randomness, so every experiment in the benchmark harness is replayable.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

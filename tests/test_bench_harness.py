@@ -1,7 +1,6 @@
 """Tests for the benchmark harness and report helpers."""
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import (
     build_experiment_context,

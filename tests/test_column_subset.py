@@ -6,7 +6,7 @@ import pytest
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import Between
 from repro.columnstore.table import Table
-from repro.core.bounded import BoundedQueryProcessor, QualityContract
+from repro.core.bounded import BoundedQueryProcessor
 from repro.core.hierarchy import ImpressionHierarchy
 from repro.core.impression import PI_COLUMN, Impression
 from repro.sampling.reservoir import ReservoirR

@@ -1,13 +1,12 @@
 """Tests for the SciBorq engine facade."""
 
-import numpy as np
 import pytest
 
 from repro.columnstore import AggregateSpec, Query
 from repro.columnstore.expressions import RadialPredicate, TruePredicate
 from repro.core.engine import SciBorq
 from repro.errors import ImpressionError, QueryError
-from repro.skyserver.schema import DEC_RANGE, RA_RANGE, create_skyserver_catalog
+from repro.skyserver.schema import create_skyserver_catalog
 from repro.skyserver.views import register_skyserver_views
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.columnstore.table import Table
 from repro.core.hierarchy import ImpressionHierarchy
-from repro.core.impression import Impression
 from repro.core.maintenance import (
     MaintenancePlanner,
     rebuild_from_base,
@@ -14,7 +13,6 @@ from repro.core.maintenance import (
 )
 from repro.core.policy import UniformPolicy, build_hierarchy
 from repro.errors import ImpressionError
-from repro.sampling.reservoir import ReservoirR
 from repro.util.clock import CostClock
 from repro.workload.drift import DriftDetector
 from repro.workload.interest import InterestModel

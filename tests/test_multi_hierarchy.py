@@ -1,6 +1,5 @@
 """Tests for multiple named hierarchies per table (paper §3.1)."""
 
-import numpy as np
 import pytest
 
 from repro.columnstore import AggregateSpec, Query

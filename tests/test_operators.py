@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.columnstore import operators
-from repro.columnstore.expressions import Between, col_eq
+from repro.columnstore.expressions import Between
 from repro.columnstore.query import AggregateSpec
 from repro.columnstore.table import Table
 from repro.errors import QueryError

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.maintenance import rebuild_from_base
 from repro.core.persistence import (
     load_hierarchy,
     read_snapshot_metadata,

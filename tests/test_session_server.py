@@ -12,7 +12,6 @@ from __future__ import annotations
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.columnstore import AggregateSpec, Query

@@ -1,7 +1,5 @@
 """Tests for fGetNearbyObjEq and the Galaxy/Star views."""
 
-import numpy as np
-import pytest
 
 from repro.columnstore import AggregateSpec, Executor, Query
 from repro.skyserver.functions import (
@@ -9,7 +7,7 @@ from repro.skyserver.functions import (
     nearby_count_query,
     nearby_query,
 )
-from repro.skyserver.schema import GALAXY, STAR
+from repro.skyserver.schema import GALAXY
 from repro.skyserver.views import register_skyserver_views
 
 

@@ -5,7 +5,6 @@ these tests exercise the :class:`~repro.util.clock.WallClock` adapter
 end to end, so "seconds" budgets work too.
 """
 
-import numpy as np
 import pytest
 
 from repro.columnstore import AggregateSpec, Query
