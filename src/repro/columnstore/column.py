@@ -283,6 +283,40 @@ class Column:
     # ------------------------------------------------------------------
     # derivation
     # ------------------------------------------------------------------
+    @classmethod
+    def from_external(
+        cls,
+        name: str,
+        dtype: Union[str, np.dtype],
+        values: np.ndarray,
+        block_size: Optional[int] = None,
+    ) -> "Column":
+        """Adopt an externally-owned buffer as a column, zero-copy.
+
+        The shard-worker attach path (:mod:`repro.core.shards`) wraps
+        NumPy views over ``multiprocessing.shared_memory`` segments
+        this way: the array is used as the backing store directly, so
+        the caller must keep the underlying buffer alive for the
+        column's lifetime and must not resize it.  Appending still
+        works — the first regrow copies out of the external buffer —
+        but shard workers never append.  Zone maps are computed
+        lazily from the adopted values like any other column's.
+        """
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise SchemaError(
+                f"column {name!r} expects 1-d input, got shape {arr.shape}"
+            )
+        column = cls(name, dtype, block_size=block_size)
+        if arr.dtype != column._dtype:
+            raise SchemaError(
+                f"external buffer dtype {arr.dtype} does not match "
+                f"column {name!r} dtype {column._dtype}"
+            )
+        column._data = arr
+        column._size = int(arr.shape[0])
+        return column
+
     def take(self, indices: np.ndarray) -> "Column":
         """A new column holding ``values[indices]`` (materialised)."""
         return Column(

@@ -34,6 +34,7 @@ from repro.util.concurrency import MorselPool, shared_scan_pool
 
 if TYPE_CHECKING:  # pragma: no cover - layering guard (core imports us)
     from repro.core.scheduler import SharedScanScheduler
+    from repro.core.shards import ShardPool
 
 
 @dataclass
@@ -138,6 +139,14 @@ class Executor:
         server layer does so on construction); contexts opened for
         sessions that opted out carry ``shared_scans=False`` and
         bypass it.
+    shard_pool:
+        Optional process-shard pool
+        (:class:`~repro.core.shards.ShardPool`).  When set, eligible
+        base-table selections scatter across shard worker processes
+        and gather byte-identical indices and charges; anything the
+        pool declines (small tables, intermediates, a degraded pool)
+        falls through to the paths below.  Installed engine-wide by
+        :meth:`repro.core.engine.SciBorq.set_shard_pool`.
     """
 
     def __init__(
@@ -148,11 +157,13 @@ class Executor:
         scan_pool: Optional[MorselPool] = None,
         parallel_scans: bool = True,
         scheduler: Optional["SharedScanScheduler"] = None,
+        shard_pool: Optional["ShardPool"] = None,
     ) -> None:
         self.catalog = catalog
         self.clock = clock if clock is not None else CostClock()
         self.recycler = recycler
         self.scheduler = scheduler
+        self.shard_pool = shard_pool
         if not parallel_scans:
             self.scan_pool: Optional[MorselPool] = None
         else:
@@ -216,6 +227,12 @@ class Executor:
         key cannot tell such generations apart, so caching them would
         serve stale index vectors after sampler churn.
 
+        With a :attr:`shard_pool` installed, eligible base-table scans
+        scatter across shard worker processes first — the gather
+        returns the same indices, stats, and charge a solo scan would
+        produce, and a declined scatter (small table, intermediate,
+        degraded pool) falls through to the paths below.
+
         With a :attr:`scheduler` installed (and the context not opted
         out), the scan enrols in the scheduler's convoy for ``source``
         instead of running alone — same indices, same stats, same
@@ -232,6 +249,14 @@ class Executor:
                     OperatorStats("select(recycled)", 0, cached.shape[0]),
                     True,
                 )
+        if self.shard_pool is not None:
+            served = self.shard_pool.scatter_scan(source, predicate)
+            if served is not None:
+                indices, op = served
+                context.charge(op.cost)
+                if recycle and self.recycler is not None:
+                    self.recycler.store(source, predicate, indices)
+                return indices, op, False
         if (
             self.scheduler is not None
             and context.shared_scans

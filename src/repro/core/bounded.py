@@ -214,6 +214,20 @@ class BoundedQueryProcessor:
         self._base_executor.scheduler = scheduler
         self.estimator.use_scan_scheduler(scheduler)
 
+    def use_shard_pool(self, pool) -> None:
+        """Route eligible base-table rung scans through a shard pool.
+
+        Applies to both scan paths — the delta-escalation fold scans
+        and the from-scratch estimator scans.  The pool only serves
+        registered base tables of sufficient size; impression deltas
+        and other intermediates keep running in-process.  The gather
+        is byte-identical to a solo scan (indices, stats, charge), so
+        estimates, CIs, and Horvitz–Thompson reweighting are
+        unchanged.  Pass ``None`` to detach.
+        """
+        self._base_executor.shard_pool = pool
+        self.estimator.use_shard_pool(pool)
+
     def _budget_units(
         self, predicted_cost: float, context: ExecutionContext
     ) -> float:

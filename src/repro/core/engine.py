@@ -140,6 +140,10 @@ class SciBorq:
         # applied to every processor, existing and future, so rung
         # scans of concurrent queries can convoy (see core/scheduler).
         self._scan_scheduler = None
+        # process-shard pool (installed by the server layer): eligible
+        # base-table scans scatter across worker processes with
+        # byte-identical gathers (see core/shards).
+        self._shard_pool = None
         # Serialises workload bookkeeping (query log, predicate
         # collector, interest, drift) so concurrent sessions can share
         # one engine; the server layer relies on this.
@@ -184,14 +188,15 @@ class SciBorq:
             for impression in previous.layers:
                 self.builder.detach(impression)
         table_hierarchies[hierarchy_name] = hierarchy
-        self._processors.setdefault(table, {})[hierarchy_name] = (
-            BoundedQueryProcessor(
-                self.catalog,
-                hierarchy,
-                clock=self.clock,
-                scheduler=self._scan_scheduler,
-            )
+        processor = BoundedQueryProcessor(
+            self.catalog,
+            hierarchy,
+            clock=self.clock,
+            scheduler=self._scan_scheduler,
         )
+        if self._shard_pool is not None:
+            processor.use_shard_pool(self._shard_pool)
+        self._processors.setdefault(table, {})[hierarchy_name] = processor
         if make_default or table not in self._default_hierarchy:
             self._default_hierarchy[table] = hierarchy_name
         self.builder.attach_hierarchy(hierarchy)
@@ -333,6 +338,29 @@ class SciBorq:
     def scan_scheduler(self):
         """The installed shared-scan scheduler, or ``None``."""
         return self._scan_scheduler
+
+    def set_shard_pool(self, pool) -> None:
+        """Install (or remove, with ``None``) a process-shard pool.
+
+        Routes eligible base-table selections — rung scans of all
+        bounded processors plus base-data scans — through
+        :meth:`~repro.core.shards.ShardPool.scatter_scan`.  Applied
+        retroactively to existing processors and automatically to
+        hierarchies created later.  Results and per-query charges are
+        byte-identical either way; the pool only changes wall-clock.
+        The server layer installs one when constructed with
+        ``shard_pool=``.
+        """
+        self._shard_pool = pool
+        self._base_executor.shard_pool = pool
+        for named in self._processors.values():
+            for processor in named.values():
+                processor.use_shard_pool(pool)
+
+    @property
+    def shard_pool(self):
+        """The installed process-shard pool, or ``None``."""
+        return self._shard_pool
 
     def self_tuning_sample(self, table: str) -> SelfTuningReservoir:
         """The self-tuning reservoir for ``table`` (raises if absent)."""

@@ -152,6 +152,15 @@ class ImpressionEstimator:
         """(Re)target impression scans at a shared-scan scheduler."""
         self._executor.scheduler = scheduler
 
+    def use_shard_pool(self, pool) -> None:
+        """(Re)target eligible base-table scans at a shard pool.
+
+        Impression scans themselves are small (the pool declines
+        them), but the estimator's executor also serves exact
+        base-table rungs, which do scatter.  Pass ``None`` to detach.
+        """
+        self._executor.shard_pool = pool
+
     # ------------------------------------------------------------------
     def estimate(
         self,

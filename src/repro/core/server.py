@@ -33,14 +33,22 @@ serving layer for the reproduction:
   accounting shortcuts.  Sessions may opt out per user
   (``open_session(shared_scans=False)``); ``batch_window`` configures
   how long a lone scan waits for co-runners (default: never).
+* **Process shards.**  With ``shard_pool=`` the server installs a
+  :class:`~repro.core.shards.ShardPool`: eligible base-table scans
+  scatter across worker processes over shared-memory block shards and
+  gather byte-identical indices and charges, escaping the GIL for the
+  Python half of scan cost.  Non-foldable work, unsharded tables, and
+  dead workers fall back to in-process execution — a worker crash
+  degrades, never errors.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +60,7 @@ from repro.core.handle import QueryHandle
 from repro.core.maintenance import RefreshReport
 from repro.core.scheduler import SharedScanScheduler
 from repro.core.session import Session
+from repro.core.shards import ShardPool
 from repro.errors import SessionError
 from repro.util.clock import ExecutionContext
 from repro.util.concurrency import ReadWriteLock
@@ -80,6 +89,15 @@ class SciBorqServer:
         Scheduler batching window in seconds — how long a scan that
         would otherwise run alone waits for co-runners.  The default
         ``0.0`` never stalls anyone; convoys still form under load.
+    shard_pool:
+        Process-shard scatter-gather mode (default off).  ``True``
+        installs a :class:`~repro.core.shards.ShardPool` with an
+        autodetected shard count (``SCIBORQ_SHARDS`` overrides; see
+        :func:`~repro.core.shards.detect_shard_count`); an ``int``
+        pins the count; a ready :class:`ShardPool` is installed as-is
+        (and stays the caller's to close).  Workers spawn lazily on
+        the first eligible scan; shutdown drains in-flight sub-plans
+        and restores whatever pool the engine carried before.
     """
 
     def __init__(
@@ -88,6 +106,7 @@ class SciBorqServer:
         max_workers: Optional[int] = None,
         shared_scans: bool = True,
         batch_window: float = 0.0,
+        shard_pool: Union[bool, int, ShardPool, None] = False,
     ) -> None:
         self.engine = engine
         if max_workers is None:
@@ -106,6 +125,27 @@ class SciBorqServer:
             # shared_scans=False leaves any externally-installed
             # scheduler on the engine untouched
             engine.set_scan_scheduler(self.scheduler)
+        self._previous_shard_pool = engine.shard_pool
+        self.shard_pool: Optional[ShardPool] = None
+        #: whether shutdown() should close the pool (False for a
+        #: caller-supplied ShardPool instance — its lifetime is theirs)
+        self._owns_shard_pool = False
+        if shard_pool:
+            if isinstance(shard_pool, ShardPool):
+                self.shard_pool = shard_pool
+            elif shard_pool is True:
+                self.shard_pool = ShardPool(engine.catalog)
+                self._owns_shard_pool = True
+            else:
+                self.shard_pool = ShardPool(
+                    engine.catalog, n_shards=int(shard_pool)
+                )
+                self._owns_shard_pool = True
+            engine.set_shard_pool(self.shard_pool)
+            # the one startup log of the chosen topology
+            logging.getLogger("repro.shards").info(
+                "shard topology: %s", self.shard_pool.describe_topology()
+            )
         self._rwlock = ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sciborq"
@@ -343,10 +383,19 @@ class SciBorqServer:
     # data + maintenance path (writers)
     # ------------------------------------------------------------------
     def ingest(self, table: str, batch: Mapping[str, np.ndarray]) -> int:
-        """Append a batch under the exclusive write lock."""
+        """Append a batch under the exclusive write lock.
+
+        With a shard pool installed, the table's shared-memory export
+        is dropped eagerly (it re-exports at the new version on the
+        next scatter) — correctness never depends on this, the pool
+        version-checks anyway; it just frees the stale segments now.
+        """
         self._require_open()
         with self._rwlock.write_locked():
-            return self.engine.ingest(table, batch)
+            loaded = self.engine.ingest(table, batch)
+            if self.shard_pool is not None:
+                self.shard_pool.invalidate(table)
+            return loaded
 
     def maintain(self) -> Dict[str, List[RefreshReport]]:
         """React to drift (engine-wide) under the write lock."""
@@ -412,6 +461,10 @@ class SciBorqServer:
         before this server took over is restored (``None`` for the
         common single-owner case, so direct engine use runs plain solo
         scans again); a later owner's scheduler is never clobbered.
+        The shard pool gets the same treatment — detached from the
+        engine and, when this server created it, closed gracefully
+        (in-flight sub-plans drain, workers stop, shared memory is
+        unlinked — nothing leaks to atexit).
         """
         if self._closed:
             return
@@ -424,6 +477,13 @@ class SciBorqServer:
             and self.engine.scan_scheduler is self.scheduler
         ):
             self.engine.set_scan_scheduler(self._previous_scheduler)
+        if (
+            self.shard_pool is not None
+            and self.engine.shard_pool is self.shard_pool
+        ):
+            self.engine.set_shard_pool(self._previous_shard_pool)
+        if self.shard_pool is not None and self._owns_shard_pool:
+            self.shard_pool.close()
 
     def summary(self) -> str:
         """Server state overview for examples and debugging."""
@@ -440,6 +500,8 @@ class SciBorqServer:
         )
         if self.scheduler is not None:
             lines.append(f"  {self.scheduler.stats.describe()}")
+        if self.shard_pool is not None:
+            lines.append(f"  {self.shard_pool.stats.describe()}")
         return "\n".join(lines)
 
     def __enter__(self) -> "SciBorqServer":

@@ -1,0 +1,1191 @@
+"""Process-sharded scatter-gather execution over shared-memory blocks.
+
+Pure-Python morsel parallelism is GIL-bound on everything that is not
+a large NumPy kernel, so one core of interpreter overhead caps the
+engine no matter how wide :class:`~repro.util.concurrency.MorselPool`
+is.  This module shards the *block grid* across worker processes
+instead: a table's 64K-row storage blocks are partitioned into K
+contiguous shards, the column payloads are exported once into
+``multiprocessing.shared_memory`` segments, and K
+:func:`shard worker <_shard_worker_main>` processes attach zero-copy
+— NumPy views reconstructed from ``(name, dtype, length)``
+descriptors — and serve scan/aggregate sub-plans over a pickle-cheap
+task protocol.
+
+The correctness contract is strict: scatter-gather must be
+*byte-identical* to solo execution, including cost accounting.
+Three properties make that hold by construction:
+
+* shard ranges are **block-aligned** (:func:`shard_ranges`), so every
+  worker makes exactly the per-block zone-map pruning decisions the
+  solo scan would make — summed per-shard ``tuples_in`` equals the
+  solo charge, and summed scanned/pruned block counts match;
+* workers return **matched row indices** (absolute, in shard order),
+  so the gather point concatenates to exactly the solo index vector
+  and every downstream step — value gather, Horvitz–Thompson
+  reweighting per rung, CI arithmetic — runs unchanged in the parent,
+  bit for bit (returning per-shard float aggregates instead would
+  change summation order);
+* a shard that cannot serve (unsharded table, stale export, dead
+  worker, unpicklable predicate) makes :meth:`ShardPool.scatter_scan`
+  return ``None`` and the caller falls back to the in-process path —
+  a worker crash degrades, never errors.
+
+:meth:`ShardPool.scatter_aggregate` additionally ships per-shard
+:class:`~repro.columnstore.aggstate.AggState` /
+:class:`~repro.columnstore.aggstate.GroupedAggState` moment partials
+for consumers that trade bitwise ordering for O(1) transfer (see the
+aggstate module's division-of-labour note); the production query path
+uses the index gather above precisely to keep byte-identity.
+
+Large index payloads skip the pipe: each worker owns a parent-managed
+shared-memory **response arena** it writes matched indices into, so a
+full-table match moves one memcpy instead of a pickle round-trip.
+Concurrent scatters that cannot get a worker's arena simply fall back
+to inline pickling — arenas are a fast path, never a lock convoy.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnstore import operators
+from repro.columnstore.aggstate import AggState, GroupedAggState
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.column import DEFAULT_BLOCK_SIZE, Column
+from repro.columnstore.operators import OperatorStats
+from repro.columnstore.query import AggregateSpec
+from repro.columnstore.table import Table
+
+logger = logging.getLogger("repro.shards")
+
+#: Environment variable overriding the autodetected shard count.
+SHARDS_ENV = "SCIBORQ_SHARDS"
+
+#: Smallest table (rows) worth scattering: below two blocks there is
+#: nothing to shard, and the fan-out overhead (task pickling, gather)
+#: would exceed the scan itself.
+DEFAULT_MIN_SCATTER_ROWS = 2 * DEFAULT_BLOCK_SIZE
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+def detect_shard_count() -> Tuple[int, str]:
+    """Resolve the shard count and where it came from.
+
+    Order: the ``SCIBORQ_SHARDS`` environment override, then
+    ``os.process_cpu_count()`` (Python 3.13+, affinity-aware), then
+    ``os.sched_getaffinity`` (Linux), then ``os.cpu_count()``.
+    Returns ``(count, source)`` with ``count >= 1``.
+    """
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is not None and raw.strip():
+        try:
+            count = int(raw)
+        except ValueError:
+            logger.warning("ignoring non-integer %s=%r", SHARDS_ENV, raw)
+        else:
+            if count >= 1:
+                return count, f"env:{SHARDS_ENV}"
+            logger.warning("ignoring non-positive %s=%r", SHARDS_ENV, raw)
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:  # pragma: no cover - Python 3.13+
+        count = probe()
+        if count:
+            return max(1, count), "process_cpu_count"
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0))), "sched_getaffinity"
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1), "cpu_count"  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def shard_ranges(
+    num_rows: int, block_size: int, n_shards: int
+) -> List[Tuple[int, int]]:
+    """Partition ``[0, num_rows)`` into ≤ ``n_shards`` block-aligned slices.
+
+    Contiguous, balanced in whole blocks (shard block counts differ by
+    at most one), covering every row exactly once.  Alignment is the
+    load-bearing property: every storage block lands wholly inside one
+    shard, so per-block zone-map pruning decisions — and therefore
+    per-shard charges — sum to exactly the unsharded scan's.
+    """
+    if num_rows <= 0 or n_shards <= 0:
+        return []
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    num_blocks = -(-num_rows // block_size)
+    n = min(n_shards, num_blocks)
+    per_shard, extra = divmod(num_blocks, n)
+    ranges: List[Tuple[int, int]] = []
+    block = 0
+    for shard in range(n):
+        block_count = per_shard + (1 if shard < extra else 0)
+        start = block * block_size
+        block += block_count
+        ranges.append((start, min(block * block_size, num_rows)))
+    return ranges
+
+
+class ShardPlanner:
+    """Plans a table's block grid into K contiguous shard ranges."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+    def plan(self, table: Table) -> List[Tuple[int, int]]:
+        """Block-aligned ``(start, stop)`` row ranges for ``table``.
+
+        Empty when the table has no rows or no common block grid
+        (columns with mismatched block sizes cannot be sharded —
+        exactly the tables pruned scans also give up on).
+        """
+        block_size = table.block_size
+        if block_size is None:
+            return []
+        return shard_ranges(table.num_rows, block_size, self.n_shards)
+
+
+# ----------------------------------------------------------------------
+# export / attach
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Descriptor from which a worker reconstructs one column view."""
+
+    name: str
+    dtype: str  #: ``np.dtype.str`` — round-trips through ``np.dtype``
+    length: int
+    shm_name: str
+
+
+@dataclass(frozen=True)
+class TableManifest:
+    """Everything a worker needs to attach one exported table version.
+
+    ``epoch`` is the worker-side cache key: for catalog exports it is
+    the table's monotone ``version``; for ephemeral exports it is a
+    pool-unique counter, because ephemeral tables (complement/delta
+    materialisations) reuse both names and version 0 across sampler
+    generations.  ``ephemeral`` additionally tells workers not to
+    cache the attachment at all — the segments are unlinked right
+    after the gather.
+    """
+
+    table: str
+    epoch: int
+    num_rows: int
+    block_size: int
+    columns: Tuple[ColumnSpec, ...]
+    ephemeral: bool = False
+
+
+class TableExport:
+    """Parent-side owner of one table version's shared-memory segments.
+
+    Exporting snapshots every column's live region into one segment
+    per column (a single memcpy each).  The export is immutable; when
+    the table's monotone ``version`` moves (an append), the pool drops
+    this export and creates a fresh one on the next scatter — workers
+    notice the new version in the task's manifest and re-attach.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        columns: Optional[Sequence[str]] = None,
+        epoch: Optional[int] = None,
+        ephemeral: bool = False,
+    ) -> None:
+        if table.block_size is None:
+            raise ValueError(
+                f"table {table.name!r} has no common block grid; "
+                f"cannot export shards"
+            )
+        self.table_name = table.name
+        self.version = table.version
+        self._segments: List[shared_memory.SharedMemory] = []
+        specs: List[ColumnSpec] = []
+        if columns is None:
+            names = table.column_names
+        else:
+            wanted = set(columns)
+            names = [n for n in table.column_names if n in wanted]
+            missing = wanted.difference(names)
+            if missing:
+                raise KeyError(
+                    f"cannot export missing columns {sorted(missing)} "
+                    f"of table {table.name!r}"
+                )
+        try:
+            for name in names:
+                values = table[name]
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(int(values.nbytes), 1)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(
+                    values.shape, dtype=values.dtype, buffer=segment.buf
+                )
+                view[:] = values
+                specs.append(
+                    ColumnSpec(
+                        name=name,
+                        dtype=values.dtype.str,
+                        length=int(values.shape[0]),
+                        shm_name=segment.name,
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+        self.manifest = TableManifest(
+            table=table.name,
+            epoch=table.version if epoch is None else epoch,
+            num_rows=table.num_rows,
+            block_size=table.block_size,
+            columns=tuple(specs),
+            ephemeral=ephemeral,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total exported payload bytes."""
+        return sum(segment.size for segment in self._segments)
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    The parent owns every segment's lifetime (it unlinks on close), so
+    attachers must not track it: 3.13+ has ``track=False`` for exactly
+    this.  On older Pythons the attach re-registers the name with the
+    resource tracker — harmless here, because spawn workers inherit
+    the *parent's* tracker and registration is idempotent; explicitly
+    unregistering instead would strip the creator's entry and make the
+    parent's own unlink warn.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python <= 3.12
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_table(
+    manifest: TableManifest,
+    keep: List[shared_memory.SharedMemory],
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> Table:
+    """Reconstruct a zero-copy table slice from an export manifest.
+
+    Columns are NumPy views straight over the shared segments
+    (:meth:`Column.from_external`); ``keep`` receives the attached
+    segments, which must stay alive (and be closed) by the caller.
+
+    ``start``/``stop`` select a shard's row range.  Because shard
+    ranges are block-aligned, the slice's storage blocks coincide
+    exactly with the full table's blocks ``start//bs ..``, so the zone
+    maps the attaching worker computes lazily — over *only its slice*
+    — drive the very same per-block pruning decisions the full table's
+    zones would.  That keeps per-worker zone maintenance O(shard), not
+    O(table), and it is what makes summed shard charges equal the solo
+    scan's.
+    """
+    stop = manifest.num_rows if stop is None else stop
+    columns: List[Column] = []
+    for spec in manifest.columns:
+        segment = _attach_segment(spec.shm_name)
+        keep.append(segment)
+        dtype = np.dtype(spec.dtype)
+        view = np.ndarray((spec.length,), dtype=dtype, buffer=segment.buf)
+        columns.append(
+            Column.from_external(
+                spec.name,
+                dtype,
+                view[start:stop],
+                block_size=manifest.block_size,
+            )
+        )
+    return Table(manifest.table, columns)
+
+
+# ----------------------------------------------------------------------
+# aggregate partials
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPartial:
+    """One shard's contribution to a scattered aggregate sub-plan.
+
+    ``states`` maps each aggregate output name to the shard's moment
+    state; ``grouped`` carries the per-group states when the sub-plan
+    groups.  ``tuples_in`` is the shard's *solo* charge — exactly the
+    rows its pruned range scan touched — so summing partials
+    reproduces the unsharded cost.
+    """
+
+    shard: int
+    matched: int
+    tuples_in: int
+    tuples_out: int
+    blocks_scanned: int
+    blocks_pruned: int
+    states: Dict[str, AggState] = field(default_factory=dict)
+    grouped: Optional[GroupedAggState] = None
+
+
+def merge_partials(
+    partials: Sequence[ShardPartial],
+) -> Tuple[Dict[str, AggState], Optional[GroupedAggState], OperatorStats]:
+    """Gather point for aggregate partials: exact moment merge + cost sum.
+
+    Merges in shard order (deterministic); the merged states follow
+    the :class:`AggState` algebra — equal to a single-pass state up to
+    float associativity, exactly equal for count/min/max.
+    """
+    states: Dict[str, AggState] = {}
+    grouped: Optional[GroupedAggState] = None
+    tin = tout = scanned = pruned = 0
+    for partial in partials:
+        for name, state in partial.states.items():
+            held = states.get(name)
+            states[name] = state if held is None else held.merge(state)
+        if partial.grouped is not None:
+            grouped = (
+                partial.grouped
+                if grouped is None
+                else grouped.merge(partial.grouped)
+            )
+        tin += partial.tuples_in
+        tout += partial.tuples_out
+        scanned += partial.blocks_scanned
+        pruned += partial.blocks_pruned
+    stats = OperatorStats(
+        "select", tin, tout, blocks_scanned=scanned, blocks_pruned=pruned
+    )
+    return states, grouped, stats
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+def _serve_task(msg, tables, arenas):
+    """Serve one scan/agg task; returns the reply tuple."""
+    kind, task_id, manifest, start, stop, predicate = msg[:6]
+    key = (manifest.epoch, start, stop)
+    cached = tables.get(manifest.table)
+    if cached is not None and cached[0] == key:
+        table = cached[2]
+        fresh: List[shared_memory.SharedMemory] = []
+    else:
+        if cached is not None:
+            for segment in cached[1]:
+                segment.close()
+            tables.pop(manifest.table, None)
+        fresh = []
+        table = attach_table(manifest, fresh, start, stop)
+        if not manifest.ephemeral:
+            tables[manifest.table] = (key, fresh, table)
+    try:
+        indices, op = operators.select(table, predicate, pool=None)
+        stats = (
+            op.tuples_in,
+            op.tuples_out,
+            op.blocks_scanned,
+            op.blocks_pruned,
+        )
+        if kind == "scan":
+            if start:
+                indices = indices + start  # slice-relative -> absolute
+            arena_name = msg[6]
+            if arena_name is not None:
+                if arenas.get("name") != arena_name:
+                    held = arenas.pop("segment", None)
+                    if held is not None:
+                        held.close()
+                    arenas["segment"] = _attach_segment(arena_name)
+                    arenas["name"] = arena_name
+                arena = arenas["segment"]
+                if int(indices.nbytes) <= arena.size:
+                    out = np.ndarray(
+                        (indices.shape[0],), dtype=np.int64, buffer=arena.buf
+                    )
+                    out[:] = indices
+                    return (
+                        "ok",
+                        task_id,
+                        "arena",
+                        int(indices.shape[0]),
+                        stats,
+                    )
+            return ("ok", task_id, "inline", indices, stats)
+        if kind == "agg":
+            shard, specs, group_by = msg[6], msg[7], msg[8]
+            partial = _aggregate_partial(
+                table, indices, shard, specs, group_by, stats
+            )
+            return ("ok", task_id, "inline", partial, stats)
+        raise ValueError(f"unknown shard task kind {kind!r}")
+    finally:
+        if manifest.ephemeral:
+            for segment in fresh:
+                segment.close()
+
+
+def _aggregate_partial(
+    table: Table,
+    indices: np.ndarray,
+    shard: int,
+    specs: Sequence[AggregateSpec],
+    group_by: Tuple[str, ...],
+    stats: Tuple[int, int, int, int],
+) -> ShardPartial:
+    """Fold one shard's matching rows into moment states."""
+    value_names = sorted(
+        {spec.column for spec in specs if spec.column is not None}
+    )
+    values = {name: table[name][indices] for name in value_names}
+    states: Dict[str, AggState] = {}
+    grouped: Optional[GroupedAggState] = None
+    if group_by:
+        keys = {name: table[name][indices] for name in group_by}
+        grouped = GroupedAggState.from_arrays(group_by, keys, values)
+    else:
+        for spec in specs:
+            if spec.column is None:
+                continue
+            states[spec.output_name] = AggState.from_values(
+                values[spec.column]
+            )
+    return ShardPartial(
+        shard=shard,
+        matched=int(indices.shape[0]),
+        tuples_in=stats[0],
+        tuples_out=stats[1],
+        blocks_scanned=stats[2],
+        blocks_pruned=stats[3],
+        states=states,
+        grouped=grouped,
+    )
+
+
+def _shard_worker_main(conn) -> None:
+    """One shard worker: attach tables lazily, serve tasks until stopped.
+
+    Per-task failures are reported back as ``("err", ...)`` replies —
+    a bad predicate fails only its own scatter, exactly like the solo
+    scan it replaces would have.  Transport failure (parent gone) or a
+    ``("stop",)`` sentinel ends the loop; attached segments are closed
+    on the way out (the parent owns unlinking).
+    """
+    tables: Dict[str, Tuple[int, List[shared_memory.SharedMemory], Table]] = {}
+    arenas: Dict[str, object] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "stop":
+                break
+            try:
+                reply = _serve_task(msg, tables, arenas)
+            except Exception as exc:  # noqa: BLE001 - shipped to the parent
+                reply = ("err", msg[1], f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(reply)
+            except (OSError, ValueError, EOFError):
+                break
+    finally:
+        for _version, segments, _table in tables.values():
+            for segment in segments:
+                segment.close()
+        arena = arenas.get("segment")
+        if arena is not None:
+            arena.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class _PendingReply:
+    """A parked scatter thread waiting for one worker reply."""
+
+    __slots__ = ("event", "message")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.message: Optional[tuple] = None
+
+
+class _Worker:
+    """Parent-side state of one shard worker process."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "lock",
+        "pending",
+        "arena",
+        "arena_lock",
+        "receiver",
+        "alive",
+    )
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: guards ``conn.send``, ``pending``, and ``alive``
+        self.lock = threading.Lock()
+        self.pending: Dict[int, _PendingReply] = {}
+        #: parent-managed response arena (created on first use)
+        self.arena: Optional[shared_memory.SharedMemory] = None
+        #: held while a task may write the arena; try-locked, so
+        #: contending scatters fall back to inline transport
+        self.arena_lock = threading.Lock()
+        self.receiver: Optional[threading.Thread] = None
+        self.alive = True
+
+
+@dataclass
+class ShardPoolStats:
+    """Diagnostic counters of one pool's lifetime."""
+
+    scatters: int = 0  #: sub-plan fan-outs served end-to-end
+    declined: int = 0  #: scatter requests answered with a fallback
+    exports: int = 0  #: cached table versions exported to shared memory
+    ephemeral_exports: int = 0  #: one-shot complement/delta exports
+    export_bytes: int = 0  #: total bytes snapshotted across exports
+
+    def describe(self) -> str:
+        return (
+            f"shard pool: {self.scatters} scatters, "
+            f"{self.declined} declined, {self.exports} cached + "
+            f"{self.ephemeral_exports} ephemeral exports "
+            f"({self.export_bytes / 1e6:.1f} MB)"
+        )
+
+
+class ShardPool:
+    """K shard-worker processes serving scatter-gather sub-plans.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog whose base tables may be sharded.  Only tables
+        resolved *by identity* through this catalog are eligible —
+        impressions, deltas, and other ephemeral intermediates fall
+        back to in-process scans (they are small by design).
+    n_shards:
+        Worker count; ``None`` resolves via ``SCIBORQ_SHARDS`` or CPU
+        autodetection (:func:`detect_shard_count`).
+    min_rows:
+        Smallest table worth scattering; below it the fan-out costs
+        more than the scan.
+    reply_timeout:
+        Seconds a scatter waits for one worker reply before declaring
+        the worker dead and falling back (generous: it only fires on
+        a hung worker, never on a slow scan of realistic size).
+
+    Workers spawn lazily on the first eligible scatter (the ``spawn``
+    start method — fork would duplicate server threads).  All failure
+    modes degrade to ``None`` returns — the caller runs in-process —
+    and :meth:`close` drains in-flight sub-plans before stopping the
+    workers, unlinking every shared segment (idempotent; no atexit
+    leaks).  The pool shares the common pool interface
+    (``n_workers`` / ``close()``) with :class:`MorselPool`.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        n_shards: Optional[int] = None,
+        min_rows: int = DEFAULT_MIN_SCATTER_ROWS,
+        reply_timeout: float = 120.0,
+    ) -> None:
+        if n_shards is None:
+            n_shards, source = detect_shard_count()
+        else:
+            if n_shards < 1:
+                raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            source = "explicit"
+        self.catalog = catalog
+        self.n_shards = int(n_shards)
+        self.source = source
+        self.min_rows = int(min_rows)
+        self.reply_timeout = reply_timeout
+        self.planner = ShardPlanner(self.n_shards)
+        self.stats = ShardPoolStats()
+        self._workers: List[_Worker] = []
+        self._exports: Dict[str, TableExport] = {}
+        self._admin_lock = threading.Lock()
+        self._idle = threading.Condition(self._admin_lock)
+        self._inflight = 0
+        self._task_ids = iter(range(1 << 62)).__next__
+        #: unique manifest epochs for ephemeral exports, whose names
+        #: and table versions repeat across sampler generations
+        self._epochs = iter(range(-1, -(1 << 62), -1)).__next__
+        self._closed = False
+        self._degraded = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Worker (= shard) count; the common pool interface."""
+        return self.n_shards
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a worker death has switched the pool to fallbacks."""
+        return self._degraded
+
+    def describe_topology(self) -> str:
+        """One-line topology summary for the server's startup log."""
+        return (
+            f"{self.n_shards} shard worker(s) ({self.source}), "
+            f"lazy spawn, min {self.min_rows} rows to scatter"
+        )
+
+    # ------------------------------------------------------------------
+    # eligibility + lifecycle
+    # ------------------------------------------------------------------
+    def _shardable(self, table: Table) -> bool:
+        """Structural eligibility shared by both export paths."""
+        if self.n_shards < 2:
+            return False
+        if table.block_size is None or table.num_rows < self.min_rows:
+            return False
+        return table.num_blocks >= 2
+
+    def _is_registered(self, table: Table) -> bool:
+        """Whether ``table`` is the catalog's own base table.
+
+        Identity, not just name: impression materialisations and fold
+        intermediates reuse base-table names over different row sets —
+        only the registered base table may use the cached export.
+        """
+        return (
+            self.catalog.has_table(table.name)
+            and self.catalog.table(table.name) is table
+        )
+
+    def _ensure_started(self) -> bool:
+        """Spawn the workers once (admin lock held)."""
+        if self._workers:
+            return True
+        ctx = get_context("spawn")
+        spawned: List[_Worker] = []
+        try:
+            for index in range(self.n_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn,),
+                    name=f"sciborq-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                worker = _Worker(index, process, parent_conn)
+                worker.receiver = threading.Thread(
+                    target=self._receive_loop,
+                    args=(worker,),
+                    name=f"sciborq-shard-recv-{index}",
+                    daemon=True,
+                )
+                worker.receiver.start()
+                spawned.append(worker)
+        except Exception:  # noqa: BLE001 - degrade, never error
+            logger.exception("shard worker spawn failed; degrading")
+            for worker in spawned:
+                self._reap(worker)
+            self._degraded = True
+            return False
+        self._workers = spawned
+        logger.info("shard pool started: %s", self.describe_topology())
+        return True
+
+    def _ensure_export(self, table: Table) -> Optional[TableExport]:
+        """Current-version export of ``table`` (admin lock held)."""
+        export = self._exports.get(table.name)
+        if export is not None and export.version == table.version:
+            return export
+        if export is not None:
+            export.close()
+            self._exports.pop(table.name, None)
+        try:
+            export = TableExport(table)
+        except Exception:  # noqa: BLE001 - /dev/shm full, etc.
+            logger.exception(
+                "shared-memory export of %r failed; degrading", table.name
+            )
+            self._degraded = True
+            return None
+        self._exports[table.name] = export
+        self.stats.exports += 1
+        self.stats.export_bytes += export.nbytes
+        return export
+
+    def invalidate(self, table_name: str) -> None:
+        """Drop a table's export (e.g. after ingest) to free memory.
+
+        Purely a memory-hygiene hook: a stale export is never *served*
+        — scatter re-exports whenever the table's version moved.
+        """
+        with self._admin_lock:
+            export = self._exports.pop(table_name, None)
+        if export is not None:
+            export.close()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _receive_loop(self, worker: _Worker) -> None:
+        """Deliver one worker's replies to their parked scatter threads."""
+        while True:
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            except Exception:  # noqa: BLE001 - corrupt reply stream
+                logger.exception(
+                    "shard worker %d reply stream corrupt", worker.index
+                )
+                break
+            with worker.lock:
+                reply = worker.pending.pop(msg[1], None)
+            if reply is not None:
+                reply.message = msg
+                reply.event.set()
+        self._fail_worker(worker, "connection closed")
+
+    def _fail_worker(self, worker: _Worker, reason: str) -> None:
+        """Mark one worker dead and wake everything parked on it."""
+        with worker.lock:
+            already = not worker.alive
+            worker.alive = False
+            parked = list(worker.pending.values())
+            worker.pending.clear()
+        for reply in parked:
+            reply.message = ("err", None, f"worker died: {reason}")
+            reply.event.set()
+        if not already and not self._closed:
+            self._degraded = True
+            logger.warning(
+                "shard worker %d lost (%s); degrading to in-process "
+                "execution",
+                worker.index,
+                reason,
+            )
+
+    def _dispatch(self, worker: _Worker, msg: tuple) -> Optional[_PendingReply]:
+        """Send one task; ``None`` when the task cannot be shipped."""
+        reply = _PendingReply()
+        with worker.lock:
+            if not worker.alive:
+                return None
+            worker.pending[msg[1]] = reply
+            try:
+                worker.conn.send(msg)
+            except (pickle.PicklingError, AttributeError, TypeError):
+                # the sub-plan cannot be pickled; the worker is fine
+                worker.pending.pop(msg[1], None)
+                return None
+            except (OSError, ValueError, EOFError):
+                worker.pending.pop(msg[1], None)
+                self._fail_worker(worker, "send failed")
+                return None
+        return reply
+
+    def _await(self, worker: _Worker, reply: _PendingReply) -> Optional[tuple]:
+        """Wait for one reply; kill the worker on timeout."""
+        if not reply.event.wait(self.reply_timeout):
+            try:
+                worker.process.terminate()
+            except Exception:  # noqa: BLE001 - already gone
+                pass
+            self._fail_worker(worker, "reply timeout")
+            return None
+        return reply.message
+
+    def _ensure_arena(
+        self, worker: _Worker, need_bytes: int
+    ) -> Optional[shared_memory.SharedMemory]:
+        """Size one worker's response arena (arena lock held)."""
+        need_bytes = max(int(need_bytes), 8)
+        arena = worker.arena
+        if arena is not None and arena.size >= need_bytes:
+            return arena
+        if arena is not None:
+            arena.close()
+            try:
+                arena.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        try:
+            worker.arena = shared_memory.SharedMemory(
+                create=True, size=1 << (need_bytes - 1).bit_length()
+            )
+        except OSError:  # pragma: no cover - /dev/shm exhausted
+            worker.arena = None
+        return worker.arena
+
+    # ------------------------------------------------------------------
+    # scatter-gather
+    # ------------------------------------------------------------------
+    def scatter_scan(
+        self, table: Table, predicate
+    ) -> Optional[Tuple[np.ndarray, OperatorStats]]:
+        """Scatter one selection across the shards; gather exactly.
+
+        Returns ``(indices, stats)`` byte-identical to
+        ``operators.select(table, predicate)`` — indices concatenated
+        in shard (= block) order, ``tuples_in``/block counts summed
+        from per-shard pruned range scans — or ``None`` when the scan
+        must run in-process (ineligible table, closed/degraded pool,
+        unpicklable predicate, worker failure).  The caller charges
+        the context from ``stats.cost``, exactly as for a solo scan.
+
+        Serves registered base tables from the cached shared-memory
+        export, and large *ephemeral* tables — the ladder's
+        complement/delta materialisations — via a one-shot export of
+        the predicate's columns (see :meth:`_begin_scatter`).
+        """
+        fanout = self._begin_scatter(table, predicate)
+        if fanout is None:
+            return None
+        manifest, ranges, oneshot = fanout
+        try:
+            shipments = []
+            for worker, (start, stop) in zip(self._workers, ranges):
+                arena_name = None
+                arena_held = worker.arena_lock.acquire(blocking=False)
+                if arena_held:
+                    arena = self._ensure_arena(worker, (stop - start) * 8)
+                    if arena is None:
+                        worker.arena_lock.release()
+                        arena_held = False
+                    else:
+                        arena_name = arena.name
+                msg = (
+                    "scan",
+                    self._task_ids(),
+                    manifest,
+                    start,
+                    stop,
+                    predicate,
+                    arena_name,
+                )
+                reply = self._dispatch(worker, msg)
+                if reply is None and arena_held:
+                    worker.arena_lock.release()
+                    arena_held = False
+                shipments.append((worker, reply, arena_held))
+            fragments: List[np.ndarray] = []
+            tin = tout = scanned = pruned = 0
+            failed = False
+            for worker, reply, arena_held in shipments:
+                try:
+                    msg = None if reply is None else self._await(worker, reply)
+                    if msg is None or msg[0] != "ok":
+                        failed = True
+                        continue
+                    _ok, _tid, kind, payload, stats = msg
+                    if kind == "arena":
+                        view = np.ndarray(
+                            (payload,), dtype=np.int64, buffer=worker.arena.buf
+                        )
+                        fragments.append(view.copy())
+                    else:
+                        fragments.append(payload)
+                    tin += stats[0]
+                    tout += stats[1]
+                    scanned += stats[2]
+                    pruned += stats[3]
+                finally:
+                    if arena_held:
+                        worker.arena_lock.release()
+            if failed:
+                self.stats.declined += 1
+                return None
+            if len(fragments) > 1:
+                indices = np.concatenate(fragments)
+            elif fragments:
+                indices = fragments[0]
+            else:  # pragma: no cover - ranges is never empty here
+                indices = np.empty(0, dtype=np.int64)
+            self.stats.scatters += 1
+            return indices, OperatorStats(
+                "select",
+                tin,
+                tout,
+                blocks_scanned=scanned,
+                blocks_pruned=pruned,
+            )
+        finally:
+            # every dispatched reply has been awaited by now, so no
+            # worker can still be reading the one-shot segments
+            if oneshot is not None:
+                oneshot.close()
+            self._end_scatter()
+
+    def scatter_aggregate(
+        self,
+        table: Table,
+        predicate,
+        specs: Sequence[AggregateSpec],
+        group_by: Sequence[str] = (),
+    ) -> Optional[List[ShardPartial]]:
+        """Scatter a fold sub-plan; gather per-shard moment partials.
+
+        Each shard scans its pruned range and returns a
+        :class:`ShardPartial` — mergeable :class:`AggState` /
+        :class:`GroupedAggState` moments plus its solo charge — for
+        :func:`merge_partials` to exact-merge in shard order.  The
+        production ladder prefers :meth:`scatter_scan` (indices keep
+        byte-identity through the Horvitz–Thompson reweighting); this
+        is the O(1)-transfer algebra for consumers that can trade
+        bitwise ordering for constant gather size.  Registered base
+        tables only — the worker needs the value columns, which the
+        one-shot ephemeral export deliberately omits.
+        """
+        fanout = self._begin_scatter(table)
+        if fanout is None:
+            return None
+        manifest, ranges, _oneshot = fanout
+        try:
+            specs = tuple(specs)
+            group_by = tuple(group_by)
+            shipments = []
+            for shard, (worker, (start, stop)) in enumerate(
+                zip(self._workers, ranges)
+            ):
+                msg = (
+                    "agg",
+                    self._task_ids(),
+                    manifest,
+                    start,
+                    stop,
+                    predicate,
+                    shard,
+                    specs,
+                    group_by,
+                )
+                shipments.append((worker, self._dispatch(worker, msg)))
+            partials: List[ShardPartial] = []
+            failed = False
+            for worker, reply in shipments:
+                msg = None if reply is None else self._await(worker, reply)
+                if msg is None or msg[0] != "ok":
+                    failed = True
+                    continue
+                partials.append(msg[3])
+            if failed:
+                self.stats.declined += 1
+                return None
+            self.stats.scatters += 1
+            return partials
+        finally:
+            self._end_scatter()
+
+    def _begin_scatter(
+        self, table: Table, predicate=None
+    ) -> Optional[
+        Tuple[TableManifest, List[Tuple[int, int]], Optional[TableExport]]
+    ]:
+        """Eligibility + export + spawn, under the admin lock.
+
+        Registered base tables use the cached per-version export.  An
+        unregistered table (a complement or delta materialisation the
+        ladder is scanning) gets a **one-shot** export of just the
+        predicate's columns when ``predicate`` is given — workers only
+        evaluate the predicate; the caller gathers value columns from
+        its own copy — returned as the third element for the gather to
+        close.  One-shot exports are never cached: ephemeral tables
+        reuse names and version 0 across sampler generations, so a
+        cache could serve stale rows.
+        """
+        if self._closed or self._degraded:
+            return None
+        if not self._shardable(table):
+            self.stats.declined += 1
+            return None
+        try:
+            registered = self._is_registered(table)
+        except Exception:  # noqa: BLE001 - catalog oddities decline
+            registered = False
+        needed: List[str] = []
+        if not registered:
+            try:
+                needed = sorted(predicate.columns()) if predicate else []
+            except Exception:  # noqa: BLE001 - exotic predicate declines
+                needed = []
+            if not needed:
+                # nothing to evaluate remotely (or no predicate info):
+                # a trivial scan is cheaper in-process
+                self.stats.declined += 1
+                return None
+        oneshot: Optional[TableExport] = None
+        with self._admin_lock:
+            if self._closed or self._degraded:
+                return None
+            if not self._ensure_started():
+                self.stats.declined += 1
+                return None
+            if registered:
+                export = self._ensure_export(table)
+                if export is None:
+                    self.stats.declined += 1
+                    return None
+            else:
+                try:
+                    oneshot = TableExport(
+                        table,
+                        columns=needed,
+                        epoch=self._epochs(),
+                        ephemeral=True,
+                    )
+                except OSError:  # pragma: no cover - /dev/shm exhausted
+                    logger.exception(
+                        "ephemeral export of %r failed; degrading",
+                        table.name,
+                    )
+                    self._degraded = True
+                    self.stats.declined += 1
+                    return None
+                except Exception:  # noqa: BLE001 - e.g. missing column
+                    # the in-process scan will raise the real error
+                    self.stats.declined += 1
+                    return None
+                export = oneshot
+                self.stats.ephemeral_exports += 1
+                self.stats.export_bytes += oneshot.nbytes
+            ranges = shard_ranges(
+                export.manifest.num_rows,
+                export.manifest.block_size,
+                self.n_shards,
+            )
+            if len(ranges) < 2:
+                if oneshot is not None:
+                    oneshot.close()
+                self.stats.declined += 1
+                return None
+            self._inflight += 1
+            return export.manifest, ranges, oneshot
+
+    def _end_scatter(self) -> None:
+        with self._admin_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain in-flight sub-plans, stop the workers, unlink memory.
+
+        Graceful and idempotent: new scatters are refused immediately,
+        in-flight ones finish (bounded by ``timeout``), workers get a
+        stop sentinel and are joined (terminated if stuck), and every
+        shared-memory segment — exports and response arenas — is
+        closed and unlinked, so nothing leaks to atexit.
+        """
+        with self._admin_lock:
+            if self._closed:
+                return
+            self._closed = True
+            deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+            self._idle.wait_for(lambda: self._inflight == 0, deadline)
+            workers = list(self._workers)
+            self._workers = []
+            exports = list(self._exports.values())
+            self._exports.clear()
+        for worker in workers:
+            with worker.lock:
+                if worker.alive:
+                    try:
+                        worker.conn.send(("stop",))
+                    except (OSError, ValueError, EOFError):
+                        pass
+        for worker in workers:
+            self._reap(worker, timeout=timeout)
+        for export in exports:
+            export.close()
+
+    def _reap(self, worker: _Worker, timeout: float = 10.0) -> None:
+        """Join (or terminate) one worker and release its resources."""
+        worker.process.join(timeout)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.terminate()
+            worker.process.join(2.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if worker.receiver is not None:
+            worker.receiver.join(2.0)
+        if worker.arena is not None:
+            worker.arena.close()
+            try:
+                worker.arena.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            worker.arena = None
+        try:
+            worker.process.close()
+        except ValueError:  # pragma: no cover - still alive after kill
+            pass
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else ("degraded" if self._degraded else "open")
+        )
+        started = "started" if self._workers else "lazy"
+        return (
+            f"ShardPool({state}, shards={self.n_shards} [{self.source}], "
+            f"{started}, exports={len(self._exports)})"
+        )

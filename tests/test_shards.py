@@ -1,0 +1,779 @@
+"""Process-sharded scatter-gather execution (:mod:`repro.core.shards`).
+
+Pins the subsystem's contract from the primitives up: block-aligned
+shard planning, shared-memory export/attach round-trips, byte-identical
+scatter-gather (indices, stats, charges) against the solo scan for
+registered and ephemeral tables, the gather-point merge edge cases
+(empty shard, single-block degenerate, groups on one shard only,
+NaN-only shard), predicate pickling across the task protocol, crash
+degradation (a dead worker falls back, never errors), and full
+server-level identity with clean shutdown (no stray processes, threads,
+or shared-memory segments).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import operators
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.column import Column
+from repro.columnstore.expressions import (
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    RadialPredicate,
+    TruePredicate,
+)
+from repro.columnstore.executor import Executor
+from repro.columnstore.query import AggregateSpec, Query
+from repro.columnstore.table import Table
+from repro.core.contracts import Contract
+from repro.core.engine import SciBorq
+from repro.core.server import SciBorqServer
+from repro.core.shards import (
+    SHARDS_ENV,
+    ShardPlanner,
+    ShardPool,
+    TableExport,
+    attach_table,
+    detect_shard_count,
+    merge_partials,
+    shard_ranges,
+)
+from repro.util.concurrency import MorselPool
+
+BS = 256  # small storage blocks so a few thousand rows shard many ways
+N = 4096
+
+
+def make_table(n: int = N, seed: int = 7, name: str = "T") -> Table:
+    """A shardable table with prunable, NaN-only, and grouped regions.
+
+    * ``x`` is block-sorted 0..100, so range predicates prune blocks;
+    * ``y`` is uniform noise (never prunable);
+    * ``v`` is NaN throughout the second half of the rows — those
+      blocks carry empty zones, the NaN-only-shard edge case;
+    * ``g`` is a group key whose value 99 exists only in block 0.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 100.0, n))
+    y = rng.uniform(0.0, 100.0, n)
+    v = rng.uniform(-5.0, 5.0, n)
+    v[n // 2 :] = np.nan
+    g = rng.integers(0, 4, n)
+    g[: BS // 2] = 99
+    return Table(
+        name,
+        [
+            Column("x", "float64", x, block_size=BS),
+            Column("y", "float64", y, block_size=BS),
+            Column("v", "float64", v, block_size=BS),
+            Column("g", "int64", g, block_size=BS),
+        ],
+    )
+
+
+def assert_same_scan(result, solo_indices, solo_op):
+    """The scatter's gather must be byte-identical to the solo scan."""
+    assert result is not None
+    indices, op = result
+    np.testing.assert_array_equal(indices, solo_indices)
+    assert indices.dtype == np.int64
+    assert (op.tuples_in, op.tuples_out) == (
+        solo_op.tuples_in,
+        solo_op.tuples_out,
+    )
+    assert (op.blocks_scanned, op.blocks_pruned) == (
+        solo_op.blocks_scanned,
+        solo_op.blocks_pruned,
+    )
+    assert op.operator == solo_op.operator
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+class TestShardRanges:
+    @pytest.mark.parametrize(
+        "num_rows,n_shards", [(1, 1), (255, 2), (4096, 3), (4097, 4), (10, 7)]
+    )
+    def test_partition_properties(self, num_rows, n_shards):
+        ranges = shard_ranges(num_rows, BS, n_shards)
+        # covers every row exactly once, in order
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == num_rows
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+        # block-aligned starts, balanced in whole blocks
+        blocks = []
+        for start, stop in ranges:
+            assert start % BS == 0
+            assert stop > start
+            blocks.append(-(-(stop - start) // BS))
+        assert max(blocks) - min(blocks) <= 1
+        assert len(ranges) == min(n_shards, -(-num_rows // BS))
+
+    def test_degenerates(self):
+        assert shard_ranges(0, BS, 4) == []
+        assert shard_ranges(-3, BS, 4) == []
+        assert shard_ranges(100, BS, 0) == []
+        with pytest.raises(ValueError):
+            shard_ranges(100, 0, 2)
+
+    def test_planner(self):
+        table = make_table()
+        assert ShardPlanner(3).plan(table) == shard_ranges(N, BS, 3)
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+        # mismatched block grids cannot shard
+        ragged = Table(
+            "R",
+            [
+                Column("a", "float64", np.zeros(10), block_size=4),
+                Column("b", "float64", np.zeros(10), block_size=8),
+            ],
+        )
+        assert ShardPlanner(2).plan(ragged) == []
+
+
+class TestDetectShardCount:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "5")
+        assert detect_shard_count() == (5, f"env:{SHARDS_ENV}")
+
+    @pytest.mark.parametrize("raw", ["zero", "-2", "0", ""])
+    def test_bad_env_falls_through(self, monkeypatch, raw):
+        monkeypatch.setenv(SHARDS_ENV, raw)
+        count, source = detect_shard_count()
+        assert count >= 1
+        assert not source.startswith("env:")
+
+    def test_autodetect_positive(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        count, source = detect_shard_count()
+        assert count >= 1
+        assert source in (
+            "process_cpu_count",
+            "sched_getaffinity",
+            "cpu_count",
+        )
+
+
+# ----------------------------------------------------------------------
+# export / attach round-trip (in-process: attach_table is plain numpy)
+# ----------------------------------------------------------------------
+class TestExportAttach:
+    def test_round_trip(self):
+        table = make_table()
+        export = TableExport(table)
+        try:
+            keep = []
+            attached = attach_table(export.manifest, keep)
+            try:
+                assert attached.num_rows == table.num_rows
+                assert attached.block_size == table.block_size
+                for name in table.column_names:
+                    np.testing.assert_array_equal(attached[name], table[name])
+            finally:
+                for segment in keep:
+                    segment.close()
+        finally:
+            export.close()
+        export.close()  # idempotent
+
+    def test_sliced_attach_matches_scan(self):
+        """Slice zones drive the same pruning as full-table zones."""
+        table = make_table()
+        predicate = Between("x", 20.0, 40.0)
+        solo_indices, solo_op = operators.select(table, predicate, pool=None)
+        export = TableExport(table)
+        try:
+            fragments, tin, scanned, pruned = [], 0, 0, 0
+            for start, stop in shard_ranges(N, BS, 3):
+                keep = []
+                shard = attach_table(export.manifest, keep, start, stop)
+                try:
+                    indices, op = operators.select(shard, predicate, pool=None)
+                    fragments.append(indices + start)
+                    tin += op.tuples_in
+                    scanned += op.blocks_scanned
+                    pruned += op.blocks_pruned
+                finally:
+                    for segment in keep:
+                        segment.close()
+            np.testing.assert_array_equal(
+                np.concatenate(fragments), solo_indices
+            )
+            assert tin == solo_op.tuples_in
+            assert scanned == solo_op.blocks_scanned
+            assert pruned == solo_op.blocks_pruned
+        finally:
+            export.close()
+
+    def test_column_subset_and_missing(self):
+        table = make_table()
+        export = TableExport(table, columns=["x"])
+        try:
+            assert [s.name for s in export.manifest.columns] == ["x"]
+        finally:
+            export.close()
+        with pytest.raises(KeyError):
+            TableExport(table, columns=["x", "nope"])
+
+
+# ----------------------------------------------------------------------
+# row_range scans (the operators primitive shards are built on)
+# ----------------------------------------------------------------------
+class TestRowRange:
+    @pytest.mark.parametrize("n_parts", [1, 2, 3, 5])
+    def test_partition_reproduces_solo(self, n_parts):
+        table = make_table()
+        predicate = And([Between("x", 10.0, 55.0), Comparison("y", "<", 70.0)])
+        solo_indices, solo_op = operators.select(table, predicate, pool=None)
+        fragments, tin, scanned, pruned = [], 0, 0, 0
+        for start, stop in shard_ranges(N, BS, n_parts):
+            indices, op = operators.select(
+                table, predicate, pool=None, row_range=(start, stop)
+            )
+            fragments.append(indices)
+            tin += op.tuples_in
+            scanned += op.blocks_scanned
+            pruned += op.blocks_pruned
+        np.testing.assert_array_equal(np.concatenate(fragments), solo_indices)
+        assert tin == solo_op.tuples_in
+        assert (scanned, pruned) == (
+            solo_op.blocks_scanned,
+            solo_op.blocks_pruned,
+        )
+
+    def test_out_of_bounds_clamped(self):
+        table = make_table()
+        indices, op = operators.select(
+            table, TruePredicate(), pool=None, row_range=(-5, N + 99)
+        )
+        assert indices.shape[0] == N
+        indices, op = operators.select(
+            table, TruePredicate(), pool=None, row_range=(N, N)
+        )
+        assert indices.shape[0] == 0
+        assert op.tuples_in == 0
+
+
+# ----------------------------------------------------------------------
+# aggregate partials
+# ----------------------------------------------------------------------
+class TestMergePartials:
+    def _partials(self, pool, table, predicate, specs, group_by=()):
+        partials = pool.scatter_aggregate(table, predicate, specs, group_by)
+        assert partials is not None
+        return partials
+
+    def test_exact_and_close_merges(self, shard_env):
+        catalog, pool = shard_env
+        table = catalog.table("T")
+        predicate = Between("x", 5.0, 80.0)
+        solo_indices, _ = operators.select(table, predicate, pool=None)
+        y = table["y"][solo_indices]
+        specs = (
+            AggregateSpec("count"),
+            AggregateSpec("min", "y"),
+            AggregateSpec("max", "y"),
+            AggregateSpec("avg", "y"),
+            AggregateSpec("sum", "y"),
+        )
+        partials = self._partials(pool, table, predicate, specs)
+        states, grouped, stats = merge_partials(partials)
+        assert grouped is None
+        assert sum(p.matched for p in partials) == solo_indices.shape[0]
+        assert stats.tuples_in == operators.select(
+            table, predicate, pool=None
+        )[1].tuples_in
+        # count/min/max are exactly mergeable
+        state = states["min(y)"]
+        assert state.count == y.shape[0]
+        assert state.minimum == y.min()
+        assert state.maximum == y.max()
+        # moment merges are exact up to float associativity
+        assert states["avg(y)"].mean == pytest.approx(y.mean(), rel=1e-12)
+        assert states["sum(y)"].total == pytest.approx(y.sum(), rel=1e-12)
+
+    def test_grouped_key_on_one_shard_only(self, shard_env):
+        """Group 99 lives only in block 0: merge must not invent it."""
+        catalog, pool = shard_env
+        table = catalog.table("T")
+        predicate = TruePredicate()
+        specs = (AggregateSpec("avg", "y"),)
+        partials = self._partials(
+            pool, table, predicate, specs, group_by=("g",)
+        )
+        _states, grouped, _stats = merge_partials(partials)
+        assert grouped is not None
+        g, y = table["g"], table["y"]
+        from repro.columnstore.aggstate import GroupedAggState
+
+        solo = GroupedAggState.from_arrays(("g",), {"g": g}, {"y": y})
+        assert grouped.keys_sorted() == solo.keys_sorted()
+        rare = next(k for k in grouped.keys_sorted() if k[0] == 99)
+        assert grouped.counts[rare] == solo.counts[rare] == BS // 2
+        # only the first shard contributed that group
+        holders = [
+            p for p in partials if rare in (p.grouped.counts if p.grouped else {})
+        ]
+        assert len(holders) == 1
+
+
+# ----------------------------------------------------------------------
+# the pool: scatter identity and edge cases (shared 2-worker fixture)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shard_env():
+    catalog = Catalog()
+    catalog.add_table(make_table())
+    pool = ShardPool(catalog, n_shards=2, min_rows=0)
+    yield catalog, pool
+    pool.close()
+
+
+PREDICATES = [
+    TruePredicate(),
+    Between("x", 20.0, 45.0),
+    Comparison("y", ">=", 50.0),
+    InSet("g", [0, 2, 99]),
+    RadialPredicate("x", "y", 50.0, 50.0, 12.0),
+    And([Between("x", 10.0, 90.0), Comparison("y", "<", 30.0)]),
+    Or([Between("x", 0.0, 5.0), Between("x", 95.0, 100.0)]),
+    Not(Between("x", 30.0, 70.0)),
+    Comparison("v", ">", 0.0),  # NaN-only blocks in the second shard
+    Between("x", 1000.0, 2000.0),  # matches nothing anywhere
+]
+
+
+class TestScatterScan:
+    @pytest.mark.parametrize(
+        "predicate", PREDICATES, ids=[p.fingerprint() for p in PREDICATES]
+    )
+    def test_byte_identical_to_solo(self, shard_env, predicate):
+        catalog, pool = shard_env
+        table = catalog.table("T")
+        solo_indices, solo_op = operators.select(table, predicate, pool=None)
+        assert_same_scan(
+            pool.scatter_scan(table, predicate), solo_indices, solo_op
+        )
+
+    def test_empty_shard_all_blocks_pruned(self, shard_env):
+        """x is block-sorted, so a low range prunes the whole 2nd shard."""
+        catalog, pool = shard_env
+        table = catalog.table("T")
+        predicate = Between("x", 0.0, float(table["x"][N // 4]))
+        solo_indices, solo_op = operators.select(table, predicate, pool=None)
+        assert solo_op.blocks_pruned > N // BS // 2  # 2nd half fully pruned
+        assert_same_scan(
+            pool.scatter_scan(table, predicate), solo_indices, solo_op
+        )
+
+    def test_nan_only_shard(self, shard_env):
+        """v's second half is all-NaN: empty zones prune every block."""
+        catalog, pool = shard_env
+        table = catalog.table("T")
+        predicate = Comparison("v", "<=", 100.0)
+        solo_indices, solo_op = operators.select(table, predicate, pool=None)
+        assert solo_op.blocks_pruned >= N // BS // 2
+        assert_same_scan(
+            pool.scatter_scan(table, predicate), solo_indices, solo_op
+        )
+
+    def test_single_block_table_declines(self, shard_env):
+        catalog, pool = shard_env
+        tiny = Table(
+            "tiny", [Column("x", "float64", np.arange(10.0), block_size=BS)]
+        )
+        catalog.add_table(tiny)
+        try:
+            assert pool.scatter_scan(tiny, TruePredicate()) is None
+        finally:
+            catalog.drop_table("tiny")
+
+    def test_unregistered_lookalike_declines_cached_path(self, shard_env):
+        """Same name, different rows: must not serve the cached export."""
+        catalog, pool = shard_env
+        impostor = make_table(seed=8)  # same name "T", different data
+        predicate = Between("x", 20.0, 45.0)
+        solo_indices, solo_op = operators.select(impostor, predicate, pool=None)
+        # served (via a one-shot ephemeral export), but against the
+        # impostor's own rows — never the registered table's
+        assert_same_scan(
+            pool.scatter_scan(impostor, predicate), solo_indices, solo_op
+        )
+
+    def test_ephemeral_requires_predicate_columns(self, shard_env):
+        _catalog, pool = shard_env
+        loose = make_table(name="unregistered")
+        assert pool.scatter_scan(loose, TruePredicate()) is None
+
+    def test_ephemeral_export_is_not_cached(self, shard_env):
+        _catalog, pool = shard_env
+        loose = make_table(name="ephem", seed=20)
+        predicate = Comparison("y", "<", 50.0)
+        before = pool.stats.ephemeral_exports
+        first = pool.scatter_scan(loose, predicate)
+        second = pool.scatter_scan(loose, predicate)
+        assert pool.stats.ephemeral_exports == before + 2
+        solo_indices, solo_op = operators.select(loose, predicate, pool=None)
+        assert_same_scan(first, solo_indices, solo_op)
+        assert_same_scan(second, solo_indices, solo_op)
+
+    def test_version_change_re_exports(self):
+        catalog = Catalog()
+        table = make_table(n=2 * BS)
+        catalog.add_table(table)
+        with ShardPool(catalog, n_shards=2, min_rows=0) as pool:
+            predicate = Comparison("y", "<", 40.0)
+            first = pool.scatter_scan(table, predicate)
+            assert first is not None
+            exports_before = pool.stats.exports
+            table.append_batch(
+                {
+                    "x": np.full(BS, 50.0),
+                    "y": np.full(BS, 1.0),
+                    "v": np.full(BS, 0.5),
+                    "g": np.zeros(BS, dtype=np.int64),
+                }
+            )
+            solo_indices, solo_op = operators.select(
+                table, predicate, pool=None
+            )
+            assert_same_scan(
+                pool.scatter_scan(table, predicate), solo_indices, solo_op
+            )
+            assert pool.stats.exports == exports_before + 1
+
+    def test_invalidate_drops_export(self, shard_env):
+        catalog, pool = shard_env
+        table = catalog.table("T")
+        pool.scatter_scan(table, Between("x", 0.0, 50.0))
+        assert "T" in pool._exports
+        pool.invalidate("T")
+        assert "T" not in pool._exports
+        # and the next scatter re-exports transparently
+        predicate = Between("x", 20.0, 45.0)
+        solo_indices, solo_op = operators.select(table, predicate, pool=None)
+        assert_same_scan(
+            pool.scatter_scan(table, predicate), solo_indices, solo_op
+        )
+
+
+class TestCrashDegradation:
+    def test_dead_worker_degrades_never_errors(self):
+        catalog = Catalog()
+        catalog.add_table(make_table())
+        pool = ShardPool(catalog, n_shards=2, min_rows=0, reply_timeout=30.0)
+        try:
+            table = catalog.table("T")
+            predicate = Between("x", 10.0, 60.0)
+            assert pool.scatter_scan(table, predicate) is not None
+            pool._workers[0].process.terminate()
+            deadline = time.monotonic() + 10.0
+            while not pool.degraded and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert pool.degraded
+            # degraded pool declines; the caller's solo path still works
+            assert pool.scatter_scan(table, predicate) is None
+            solo_indices, _ = operators.select(table, predicate, pool=None)
+            assert solo_indices.shape[0] > 0
+        finally:
+            pool.close()
+
+    def test_unpicklable_predicate_falls_back_without_degrading(self):
+        catalog = Catalog()
+        catalog.add_table(make_table())
+        with ShardPool(catalog, n_shards=2, min_rows=0) as pool:
+            table = catalog.table("T")
+
+            class Hostile(Between):
+                def __reduce__(self):
+                    raise pickle.PicklingError("nope")
+
+            assert pool.scatter_scan(table, Hostile("x", 0.0, 50.0)) is None
+            assert not pool.degraded
+            # the pool still serves picklable work afterwards
+            predicate = Between("x", 20.0, 45.0)
+            solo_indices, solo_op = operators.select(
+                table, predicate, pool=None
+            )
+            assert_same_scan(
+                pool.scatter_scan(table, predicate), solo_indices, solo_op
+            )
+
+
+# ----------------------------------------------------------------------
+# pool interface parity + shutdown hygiene
+# ----------------------------------------------------------------------
+class TestPoolInterface:
+    def test_morsel_pool_interface(self):
+        pool = MorselPool(max_workers=2)
+        assert pool.n_workers == 2
+        assert pool.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+        pool.close()
+        pool.close()  # idempotent
+
+    def test_shard_pool_interface(self):
+        catalog = Catalog()
+        pool = ShardPool(catalog, n_shards=3, min_rows=0)
+        assert pool.n_workers == 3
+        pool.close()
+        pool.close()  # idempotent, and without ever spawning
+        with pytest.raises(ValueError):
+            ShardPool(catalog, n_shards=0)
+
+    def test_env_resolved_count(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        pool = ShardPool(Catalog())
+        assert (pool.n_workers, pool.source) == (4, f"env:{SHARDS_ENV}")
+        pool.close()
+
+    def test_no_stray_processes_or_threads_after_close(self):
+        # other fixtures may hold live pools; only *this* pool's
+        # workers, receiver threads, and arenas must be gone
+        before_procs = set(multiprocessing.active_children())
+        before_threads = set(threading.enumerate())
+        catalog = Catalog()
+        catalog.add_table(make_table())
+        pool = ShardPool(catalog, n_shards=2, min_rows=0)
+        assert pool.scatter_scan(catalog.table("T"), Between("x", 0, 50))
+        pool.close()
+        assert set(multiprocessing.active_children()) <= before_procs
+        assert set(threading.enumerate()) <= before_threads
+
+
+# ----------------------------------------------------------------------
+# sub-plan pickling (the task protocol's wire format)
+# ----------------------------------------------------------------------
+_pred_columns = st.sampled_from(["x", "y", "v", "g"])
+_finite = st.floats(
+    min_value=-200.0, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+_leaves = st.one_of(
+    st.just(TruePredicate()),
+    st.builds(
+        Comparison,
+        _pred_columns,
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        _finite,
+    ),
+    st.builds(
+        lambda column, a, b: Between(column, min(a, b), max(a, b)),
+        _pred_columns,
+        _finite,
+        _finite,
+    ),
+    st.builds(
+        InSet, _pred_columns, st.lists(_finite, min_size=1, max_size=4)
+    ),
+    st.builds(
+        lambda cx, cy, r: RadialPredicate("x", "y", cx, cy, r),
+        _finite,
+        _finite,
+        st.floats(min_value=0.0, max_value=100.0),
+    ),
+)
+_predicates = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.builds(And, st.lists(children, min_size=1, max_size=3)),
+        st.builds(Or, st.lists(children, min_size=1, max_size=3)),
+        st.builds(Not, children),
+    ),
+    max_leaves=6,
+)
+
+
+class TestSubPlanPickling:
+    _table = make_table(n=512, seed=31)
+
+    @given(predicate=_predicates)
+    @settings(max_examples=80, deadline=None)
+    def test_predicates_survive_pickle(self, predicate):
+        clone = pickle.loads(pickle.dumps(predicate))
+        assert clone.fingerprint() == predicate.fingerprint()
+        assert clone.columns() == predicate.columns()
+        np.testing.assert_array_equal(
+            clone.evaluate(self._table), predicate.evaluate(self._table)
+        )
+
+    @given(predicate=_predicates)
+    @settings(max_examples=25, deadline=None)
+    def test_queries_survive_pickle(self, predicate):
+        query = Query(
+            "T",
+            predicate=predicate,
+            aggregates=(AggregateSpec("avg", "y"), AggregateSpec("count")),
+            group_by=("g",),
+        )
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone.predicate.fingerprint() == predicate.fingerprint()
+        assert clone.aggregates == query.aggregates
+        assert clone.group_by == query.group_by
+
+
+# ----------------------------------------------------------------------
+# executor + server integration: end-to-end byte-identity
+# ----------------------------------------------------------------------
+def make_engine(seed: int = 13) -> SciBorq:
+    catalog = Catalog()
+    catalog.add_table(make_table(seed=seed))
+    engine = SciBorq(
+        catalog, interest_attributes={"x": (0.0, 100.0)}, rng=seed
+    )
+    engine.create_hierarchy(
+        "T", policy="uniform", layer_sizes=(N // 4, N // 16)
+    )
+    # re-offer the already-loaded rows so the layers actually fill
+    engine.rebuild("T")
+    return engine
+
+
+QUERIES = [
+    Query(
+        "T",
+        predicate=Between("x", 15.0, 85.0),
+        aggregates=(AggregateSpec("avg", "y"), AggregateSpec("count")),
+    ),
+    Query(
+        "T",
+        predicate=Comparison("y", "<", 60.0),
+        aggregates=(AggregateSpec("sum", "y"), AggregateSpec("max", "y")),
+    ),
+]
+
+
+def summarise(outcome):
+    return (
+        {
+            name: (est.value, est.se, est.confidence)
+            for name, est in outcome.result.estimates.items()
+        },
+        [
+            (a.source, a.rows, a.cost, a.relative_error, a.satisfied)
+            for a in outcome.attempts
+        ],
+        outcome.total_cost,
+    )
+
+
+class TestEndToEndIdentity:
+    def test_executor_grouped_exact_identity(self, shard_env):
+        catalog, pool = shard_env
+        query = Query(
+            "T",
+            predicate=Between("x", 10.0, 90.0),
+            aggregates=(AggregateSpec("avg", "y"), AggregateSpec("count")),
+            group_by=("g",),
+            order_by="g",
+        )
+        solo = Executor(catalog, parallel_scans=False).execute(query)
+        sharded = Executor(
+            catalog, parallel_scans=False, shard_pool=pool
+        ).execute(query)
+        assert solo.rows.column_names == sharded.rows.column_names
+        for name in solo.rows.column_names:
+            np.testing.assert_array_equal(
+                sharded.rows[name], solo.rows[name]
+            )
+        assert sharded.stats.total_cost == solo.stats.total_cost
+
+    def test_server_identity_and_accounting(self):
+        contracts = [
+            Contract.within_error(0.05),
+            Contract.within_error(0.0005),  # forces the base rung
+            Contract.exact(),
+        ]
+
+        def run(shard):
+            engine = make_engine()
+            pool = (
+                ShardPool(engine.catalog, n_shards=2, min_rows=0)
+                if shard
+                else None
+            )
+            server = SciBorqServer(
+                engine, **({"shard_pool": pool} if pool else {})
+            )
+            try:
+                session = server.open_session()
+                outcomes = [
+                    summarise(server.execute(session, query, contract))
+                    for query in QUERIES
+                    for contract in contracts
+                ]
+                scatters = pool.stats.scatters if pool else 0
+                return outcomes, scatters
+            finally:
+                server.shutdown()
+                if pool is not None:
+                    pool.close()
+
+        solo_outcomes, _ = run(False)
+        shard_outcomes, scatters = run(True)
+        assert shard_outcomes == solo_outcomes
+        assert scatters > 0  # the pool really served scans
+
+    def test_server_owned_pool_lifecycle(self, monkeypatch, caplog):
+        before_procs = set(multiprocessing.active_children())
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        engine = make_engine()
+        with caplog.at_level("INFO", logger="repro.shards"):
+            server = SciBorqServer(engine, shard_pool=True)
+        assert any("shard topology" in r.message for r in caplog.records)
+        pool = server.shard_pool
+        assert pool is not None
+        assert engine.shard_pool is pool
+        assert pool.n_workers == 2
+        assert pool.source == f"env:{SHARDS_ENV}"
+        server.shutdown()
+        assert engine.shard_pool is None  # detached on shutdown
+        # owned pool is closed: scatters decline and nothing leaks
+        assert pool.scatter_scan(engine.catalog.table("T"), TruePredicate()) is None
+        assert set(multiprocessing.active_children()) <= before_procs
+
+    def test_server_ingest_invalidates_export(self):
+        engine = make_engine()
+        pool = ShardPool(engine.catalog, n_shards=2, min_rows=0)
+        server = SciBorqServer(engine, shard_pool=pool)
+        try:
+            table = engine.catalog.table("T")
+            assert pool.scatter_scan(table, Between("x", 0.0, 50.0))
+            assert "T" in pool._exports
+            rng = np.random.default_rng(3)
+            server.ingest(
+                "T",
+                {
+                    "x": rng.uniform(0, 100, BS),
+                    "y": rng.uniform(0, 100, BS),
+                    "v": rng.uniform(-5, 5, BS),
+                    "g": rng.integers(0, 4, BS),
+                },
+            )
+            assert "T" not in pool._exports
+            # post-ingest scatter re-exports the new version, identically
+            predicate = Between("x", 20.0, 45.0)
+            solo_indices, solo_op = operators.select(
+                table, predicate, pool=None
+            )
+            assert_same_scan(
+                pool.scatter_scan(table, predicate), solo_indices, solo_op
+            )
+        finally:
+            server.shutdown()
+            pool.close()
