@@ -1,0 +1,285 @@
+"""E16 — tiered column blocks shrink the footprint, honestly.
+
+SciBORQ's contracts trade accuracy for runtime; the tiered block store
+(ROADMAP "Error-bounded compressed column blocks") applies the same
+formalism to memory.  Blocks live hot (raw), warm (error-bounded int8
+quantisation), or cold (mmap-backed raw spill), and a governor demotes
+the least-recently-scanned blocks to fit a byte budget.  Four claims:
+
+(a) **footprint** — demoted blocks occupy ≥4x less RAM than their raw
+    bytes (int8 codes are 8x smaller than float64; cold is free);
+(b) **honesty** — estimates over warm blocks carry the recorded
+    quantisation bound in ``Estimate.value_error``, and the achieved
+    error stays within the contract plus that declared bound;
+(c) **byte-identity** — all-hot answers and ``Contract.exact()``
+    answers (which force-promote touched blocks) are byte-identical to
+    the pre-demotion engine;
+(d) **pruning across tiers** — zone maps fold from raw values before
+    any demotion, so pruning decisions are identical at every tier and
+    pruned blocks are never decompressed.
+
+Run standalone: ``python benchmarks/bench_memory.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.bench.report import write_bench_report
+from repro.columnstore import operators
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.column import Column
+from repro.columnstore.expressions import Between, RadialPredicate
+from repro.columnstore.query import AggregateSpec, Query
+from repro.columnstore.table import Table
+from repro.core.contracts import Contract
+from repro.core.engine import SciBorq
+from repro.core.governor import MemoryGovernor
+
+RA_LO, RA_HI = 120.0, 240.0
+DEC_LO, DEC_HI = -5.0, 25.0
+
+
+def build_engine(n: int, block_size: int, layer_sizes, seed: int = 20260808):
+    """A SkyServer-shaped engine with stripe-ordered (prunable) ra."""
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "PhotoObjAll",
+            [
+                Column("ra", "float64", block_size=block_size),
+                Column("dec", "float64", block_size=block_size),
+                Column("flux", "float64", block_size=block_size),
+            ],
+        )
+    )
+    engine = SciBorq(
+        catalog,
+        interest_attributes={"ra": (RA_LO, RA_HI), "dec": (DEC_LO, DEC_HI)},
+        rng=9,
+    )
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="uniform", layer_sizes=layer_sizes
+    )
+    engine.loader.load_batch(
+        "PhotoObjAll",
+        {
+            "ra": np.sort(rng.uniform(RA_LO, RA_HI, n)),
+            "dec": rng.uniform(DEC_LO, DEC_HI, n),
+            "flux": rng.lognormal(1.0, 0.4, n),
+        },
+    )
+    return engine
+
+
+def cone_avg() -> Query:
+    return Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate(
+            "ra", "dec", 0.5 * (RA_LO + RA_HI), 10.0, 12.0
+        ),
+        aggregates=[AggregateSpec("avg", "flux"), AggregateSpec("sum", "flux")],
+    )
+
+
+def demoted_block_reduction(table: Table) -> float:
+    """RAM reduction ratio summed over every demoted block."""
+    raw_bytes = 0
+    ram_bytes = 0
+    for name in table.column_names:
+        column = table.column(name)
+        block_raw = column.block_size * column.dtype.itemsize
+        for block, tier, _, ram in column.block_report():
+            if tier != "hot":
+                raw_bytes += block_raw
+                ram_bytes += ram
+    if raw_bytes == 0:
+        return 1.0
+    return raw_bytes / max(ram_bytes, 1)
+
+
+def run_footprint_claim(engine: SciBorq):
+    """Claim (a): the governor lands ≥4x under the raw bytes it evicted."""
+    before = engine.memory_report()
+    budget = int(before["ram_total"] * 0.35)
+    governor = MemoryGovernor(budget)
+    engine.set_memory_governor(governor)
+    after = engine.memory_report()
+    table = engine.catalog.table("PhotoObjAll")
+    reduction = demoted_block_reduction(table)
+    demoted = sum(
+        count
+        for name in table.column_names
+        for tier, count in table.column(name).block_tiers().items()
+        if tier != "hot"
+    )
+    print(f"== E16a: budget {budget} B vs hot footprint {before['ram_total']} B ==")
+    print(
+        f"  demoted {demoted} blocks; RAM {before['ram_total']} -> "
+        f"{after['ram_total']} B; per-block reduction {reduction:.1f}x"
+    )
+    assert demoted > 0, "the budget must force demotions"
+    assert after["ram_total"] <= budget, "governor must land under budget"
+    assert reduction >= 4.0, (
+        f"demoted blocks shrank only {reduction:.2f}x; need >=4x"
+    )
+    print("  demoted blocks >=4x smaller in RAM ✓")
+    return {
+        "budget_bytes": budget,
+        "ram_before": int(before["ram_total"]),
+        "ram_after": int(after["ram_total"]),
+        "blocks_demoted": int(demoted),
+        "reduction_ratio": float(reduction),
+        "demotions_warm": governor.stats.demotions_warm,
+        "demotions_cold": governor.stats.demotions_cold,
+    }
+
+
+def run_honesty_claim(engine: SciBorq, truth: dict):
+    """Claim (b): warm-block estimates stay inside contract + bound."""
+    table = engine.catalog.table("PhotoObjAll")
+    flux = table.column("flux")
+    for block in range(flux.num_blocks):
+        flux.demote(block, "warm")
+    delta = flux.max_value_error()
+    assert delta > 0.0, "quantisation must have a nonzero recorded bound"
+    contract = Contract.within_error(0.02)
+    outcome = engine.execute(cone_avg(), contract=contract)
+    estimates = outcome.result.estimates
+    print(f"== E16b: bounded query over warm flux (bound {delta:.3g}) ==")
+    checked = 0
+    for name in ("avg(flux)", "sum(flux)"):
+        estimate = estimates[name]
+        achieved = abs(estimate.value - truth[name])
+        print(
+            f"  {name}: value {estimate.value:.6g} vs truth "
+            f"{truth[name]:.6g}; declared value_error {estimate.value_error:.3g}, "
+            f"half-width {estimate.half_width:.3g}"
+        )
+        assert estimate.value_error > 0.0, (
+            f"{name} must carry the quantisation bound"
+        )
+        assert estimate.half_width >= estimate.value_error, (
+            "the declared bound must ride the CI"
+        )
+        assert achieved <= estimate.half_width, (
+            f"{name}: achieved error {achieved:.3g} exceeds the declared "
+            f"half-width {estimate.half_width:.3g}"
+        )
+        checked += 1
+    assert outcome.met_quality, "contract + declared bound must be met"
+    print("  achieved error within contract + declared bound ✓")
+    return {
+        "quantisation_bound": float(delta),
+        "estimates_checked": checked,
+        "achieved_error": float(outcome.achieved_error),
+        "contract_bound": 0.02,
+    }
+
+
+def run_identity_claim(engine: SciBorq, truth: dict):
+    """Claim (c): exact contracts force-promote and match all-hot bytes."""
+    table = engine.catalog.table("PhotoObjAll")
+    assert not table.column("flux").is_fully_hot  # claim (b) demoted it
+    outcome = engine.execute(cone_avg(), contract=Contract.exact())
+    estimates = outcome.result.estimates
+    print("== E16c: Contract.exact() over the demoted table ==")
+    for name, exact_value in truth.items():
+        estimate = estimates[name]
+        assert estimate.value == exact_value, (
+            f"{name}: exact answer drifted after demotion"
+        )
+        assert estimate.value_error == 0.0 and estimate.method == "exact"
+    assert table.column("flux").is_fully_hot, "exact must force-promote"
+    print("  byte-identical to the pre-demotion answer ✓")
+    return {"estimates_identical": len(truth), "force_promoted": True}
+
+
+def run_pruning_claim(n: int, block_size: int, seed: int = 4):
+    """Claim (d): identical pruning at every tier, pruned = undecompressed."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 1000.0, n))
+
+    def make() -> Table:
+        return Table("t", [Column("x", "float64", x, block_size=block_size)])
+
+    hot, tiered = make(), make()
+    col = tiered.column("x")
+    for block in range(col.num_blocks - 1):
+        col.demote(block, "warm" if block % 2 == 0 else "cold")
+    predicate = Between("x", 400.0, 480.0)
+    plan_hot = operators.scan_plan(hot, predicate)
+    plan_tiered = operators.scan_plan(tiered, predicate)
+    assert plan_tiered == plan_hot, "pruning decisions must not depend on tier"
+    _, _, blocks_scanned, blocks_pruned = plan_hot
+    assert blocks_pruned > 0, "the predicate must actually prune"
+    before = col.decompressions
+    hot_idx, _ = operators.select(hot, predicate)
+    tiered_idx, stats = operators.select(tiered, predicate)
+    decompressions = col.decompressions - before
+    print(f"== E16d: pruned scan over {col.num_blocks} blocks ==")
+    print(
+        f"  {blocks_pruned} pruned / {blocks_scanned} scanned; "
+        f"{decompressions} decompressions charged"
+    )
+    assert decompressions <= blocks_scanned, (
+        "pruned blocks must never be decompressed"
+    )
+    # cold is lossless, and warm only moves values within a half-cell;
+    # count the disagreement to show it is bounded, not silent
+    agreement = len(set(hot_idx) & set(tiered_idx)) / max(len(hot_idx), 1)
+    assert stats.blocks_pruned == blocks_pruned
+    print(f"  selection agreement vs hot: {agreement:.4f} ✓")
+    return {
+        "blocks_pruned": int(blocks_pruned),
+        "blocks_scanned": int(blocks_scanned),
+        "decompressions": int(decompressions),
+        "selection_agreement": float(agreement),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI: same claims, seconds not minutes",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        n, block_size = 24_000, 1_024
+        layer_sizes = (2_000, 200)
+    else:
+        n, block_size = 200_000, 8_192
+        layer_sizes = (5_000, 500)
+    engine = build_engine(n, block_size, layer_sizes)
+    print(
+        f"memory-tier benchmark: n={n} block_size={block_size} "
+        f"({'smoke' if args.smoke else 'full'})"
+    )
+    exact = engine.execute_exact(cone_avg())
+    truth = {name: exact.scalars[name] for name in ("avg(flux)", "sum(flux)")}
+    footprint = run_footprint_claim(engine)
+    engine.set_memory_governor(None)  # manual tiering from here on
+    honesty = run_honesty_claim(engine, truth)
+    identity = run_identity_claim(engine, truth)
+    pruning = run_pruning_claim(n, block_size)
+    write_bench_report(
+        "memory",
+        {
+            "n": n,
+            "block_size": block_size,
+            "footprint": footprint,
+            "honesty": honesty,
+            "identity": identity,
+            "pruning": pruning,
+        },
+    )
+    print("all memory-tier claims hold ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -242,12 +242,16 @@ class FoldState:
     ``columns`` carries the row-aligned values of every column the
     query's aggregates and grouping read.  ``scanned_rows`` records the
     cumulative candidate rows the ladder has actually scanned (the
-    quantity escalation is charged for).
+    quantity escalation is charged for).  ``value_error`` is the max
+    pointwise drift bound of the accumulated values: 0.0 when every
+    scan read hot (or cold, i.e. exact) blocks, the quantisation bound
+    when any rung's scan read dequantised warm blocks.
     """
 
     row_ids: np.ndarray
     columns: Dict[str, np.ndarray]
     scanned_rows: int = 0
+    value_error: float = 0.0
 
     @classmethod
     def from_scan(
@@ -255,6 +259,7 @@ class FoldState:
         row_ids: np.ndarray,
         columns: Mapping[str, np.ndarray],
         scanned_rows: int,
+        value_error: float = 0.0,
     ) -> "FoldState":
         """The fold of one scan, normalised to ascending row-id order."""
         row_ids = np.asarray(row_ids, dtype=np.int64)
@@ -266,6 +271,7 @@ class FoldState:
                 for name, values in columns.items()
             },
             scanned_rows=int(scanned_rows),
+            value_error=float(value_error),
         )
 
     @property
@@ -294,6 +300,7 @@ class FoldState:
                 for name, values in self.columns.items()
             },
             scanned_rows=self.scanned_rows + delta.scanned_rows,
+            value_error=max(self.value_error, delta.value_error),
         )
 
     def agg_state(self, column: str) -> AggState:

@@ -1,4 +1,4 @@
-"""A single typed column with amortised append and block zone maps.
+"""A single typed column with amortised append, zone maps, and tiers.
 
 MonetDB stores every attribute as a Binary Association Table; the
 reproduction keeps the essence — one contiguous typed array per
@@ -18,15 +18,43 @@ Zone maps let selections skip whole blocks a predicate cannot match
 (see :meth:`repro.columnstore.expressions.Expression.prune`), which is
 what makes SciBORQ's tuples-touched budgets go further on the base
 table.
+
+Residency tiers
+---------------
+Each *full* block lives in one of three tiers:
+
+* **hot** — a raw ndarray, today's representation.  A column that has
+  never demoted a block keeps the single contiguous buffer and pays
+  zero overhead (the fast path is unchanged).
+* **warm** — the block linearly quantised to int8/int16 codes plus a
+  recorded **max pointwise error bound** (``block_value_error``).
+  Scans over warm blocks read dequantised values, so answers drift by
+  at most that bound per value; the bound is threaded into every
+  :class:`~repro.stats.estimators.Estimate` so reported CIs stay
+  honest (ISSUE 7 / Liu et al., arXiv:2310.14133).
+* **cold** — the raw bytes live only in an mmap-backed spill file
+  (:class:`repro.core.persistence.ColumnBlockStore`); reads map them
+  back lazily.  Cold is *exact* — demotion always spills the original
+  raw bytes first, so promoting any block back to hot restores it
+  byte-identically, which is what lets ``Contract.exact()``
+  force-promote and answer exactly over a previously-demoted table.
+
+Zone maps are folded **before** a block may demote, i.e. they are
+always built from the raw (pre-quantisation) values.  Quantised codes
+dequantise into the closed interval ``[lo, hi]`` of the raw block, so
+the raw zones remain exact bounds for every tier and zone-map pruning
+never needs to decompress anything (``decompressions`` counts real
+block materialisations only).
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +66,12 @@ _MIN_CAPACITY = 16
 #: entries per million rows) while leaving enough blocks to prune on
 #: the SkyServer scales the benchmarks run at.
 DEFAULT_BLOCK_SIZE = 65_536
+
+#: Monotone access clock shared by every column: ``next(_TICK)`` marks
+#: a block as most-recently-scanned.  The memory governor demotes the
+#: smallest ticks first (least-recently-scanned), so one global clock
+#: gives a consistent LRU order across tables.
+_TICK = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -58,6 +92,54 @@ class Zone:
     def empty(self) -> bool:
         """True when the block holds no comparable (non-NaN) value."""
         return self.lo > self.hi
+
+
+class _WarmBlock:
+    """One block linearly quantised to int8/int16 codes.
+
+    ``dequantise`` maps codes back into the closed raw range
+    ``[offset, offset + span]``; ``value_error`` is the *measured*
+    max pointwise |dequantised − raw| recorded at demotion time.
+    """
+
+    __slots__ = ("codes", "offset", "scale", "qlo", "value_error", "length")
+    tier = "warm"
+
+    def __init__(self, codes, offset, scale, qlo, value_error, length):
+        self.codes = codes
+        self.offset = offset
+        self.scale = scale
+        self.qlo = qlo
+        self.value_error = value_error
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.codes.nbytes)
+
+    def dequantise(self, dtype: np.dtype) -> np.ndarray:
+        values = (
+            (self.codes.astype(np.float64) - self.qlo) * self.scale + self.offset
+        )
+        return values.astype(dtype, copy=False)
+
+
+class _ColdBlock:
+    """One block whose raw bytes live only in the spill store.
+
+    Cold blocks are exact: the spill always holds the original raw
+    bytes, so reads (np.memmap) and promotions are byte-identical.
+    """
+
+    __slots__ = ("length",)
+    tier = "cold"
+
+    def __init__(self, length):
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return 0  # no RAM-resident payload
 
 
 class Column:
@@ -90,7 +172,9 @@ class Column:
         self.name = name
         self._dtype = np.dtype(dtype)
         self._size = 0
-        self._data = np.empty(_MIN_CAPACITY, dtype=self._dtype)
+        self._data: Optional[np.ndarray] = np.empty(
+            _MIN_CAPACITY, dtype=self._dtype
+        )
         block_size = DEFAULT_BLOCK_SIZE if block_size is None else int(block_size)
         if block_size <= 0:
             raise SchemaError(
@@ -112,6 +196,27 @@ class Column:
         #: race itself).
         self._zone_rows = 0
         self._zone_lock = threading.Lock()
+        # --- tiered residency state (all dormant until first demote) --
+        #: per-block entries for sealed (full) blocks once chunked:
+        #: ndarray (hot) | _WarmBlock | _ColdBlock.  None = contiguous
+        #: mode, the zero-overhead fast path.
+        self._chunks: Optional[List[object]] = None
+        self._tail: Optional[np.ndarray] = None  # rows past the sealed blocks
+        self._tail_size = 0
+        self._spill = None  # lazily-created ColumnBlockStore
+        self._tier_lock = threading.RLock()
+        self._block_ticks: Dict[int, int] = {}
+        #: value-error floor inherited from the source column a
+        #: take/filter/gather materialised from: derived hot copies of
+        #: dequantised values still carry the quantisation error.
+        self._value_error_floor = 0.0
+        #: real block materialisations of non-hot blocks (zone-map
+        #: pruned blocks never appear here — pruning is zone-only).
+        self.decompressions = 0
+        #: tick of the last scan that touched a demoted block — the
+        #: governor's promote-on-access signal.
+        self._demoted_access_tick = 0
+        self._scratch = threading.local()
         if values is not None:
             self.extend(values)
 
@@ -133,14 +238,31 @@ class Column:
         The view aliases internal storage; callers must not mutate it.
         It is invalidated by the next append that triggers a regrow,
         which is why operators copy (materialise) before returning.
+        With demoted blocks the column has no contiguous buffer, so
+        this materialises a fresh (read-only) array instead — warm
+        blocks dequantise, cold blocks read from the spill.  Scans go
+        through :meth:`read_range` and never pay this.
+
+        Readers snapshot ``_data`` first: a concurrent first demotion
+        (:meth:`_to_chunked`) publishes ``_chunks`` before clearing
+        ``_data``, so a stale snapshot is still the complete, valid
+        contiguous buffer.
         """
-        view = self._data[: self._size]
-        view.flags.writeable = False
-        return view
+        data = self._data
+        if data is not None:
+            view = data[: self._size]
+            view.flags.writeable = False
+            return view
+        out = self._materialise_range(0, self._size, touch=False)
+        out.flags.writeable = False
+        return out
 
     def to_numpy(self) -> np.ndarray:
         """An owned copy of the column contents."""
-        return self._data[: self._size].copy()
+        data = self._data
+        if data is not None:
+            return data[: self._size].copy()
+        return self._materialise_range(0, self._size, touch=False)
 
     def __getitem__(self, index):
         if isinstance(index, (int, np.integer)):
@@ -149,7 +271,12 @@ class Column:
                     f"index {index} out of range for column {self.name!r} "
                     f"of length {self._size}"
                 )
-            return self._data[index if index >= 0 else self._size + index]
+            row = index if index >= 0 else self._size + index
+            data = self._data
+            if data is not None:
+                return data[row]
+            block = row // self._block_size
+            return self._block_values(int(block))[row - block * self._block_size]
         return self.values[index]
 
     def __repr__(self) -> str:
@@ -178,7 +305,10 @@ class Column:
 
         Blocks that have seen only NaNs report an *empty* zone
         (``lo > hi``, ``has_nan=True``): no comparable value exists,
-        so any range predicate can skip the block.
+        so any range predicate can skip the block.  Zones are folded
+        from raw values before a block may demote, so the same bounds
+        stay exact for the quantised data — pruning decisions are
+        identical across tiers and decompression-free.
         """
         if not self._tracks_zones:
             return None
@@ -205,9 +335,17 @@ class Column:
         with self._zone_lock:
             if self._zone_rows == self._size:
                 return
-            self._update_zones(
-                self._zone_rows, self._data[self._zone_rows : self._size]
-            )
+            data = self._data  # snapshot: see `values` on the demotion race
+            if data is not None:
+                pending = data[self._zone_rows : self._size]
+            else:
+                # rows past the fold point are always hot (a block must
+                # fold its zones before it may demote), so this never
+                # decompresses anything
+                pending = self._materialise_range(
+                    self._zone_rows, self._size, touch=False
+                )
+            self._update_zones(self._zone_rows, pending)
             self._zone_rows = self._size
 
     def _update_zones(self, start: int, arr: np.ndarray) -> None:
@@ -242,6 +380,384 @@ class Column:
             pos += take
 
     # ------------------------------------------------------------------
+    # tiered residency
+    # ------------------------------------------------------------------
+    @property
+    def is_fully_hot(self) -> bool:
+        """Whether every block is a raw ndarray (no demoted payloads)."""
+        if self._chunks is None:
+            return True
+        return all(isinstance(entry, np.ndarray) for entry in self._chunks)
+
+    def tier_of(self, block: int) -> str:
+        """The residency tier of ``block``: ``hot``/``warm``/``cold``."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(
+                f"block {block} out of range for column {self.name!r} "
+                f"with {self.num_blocks} blocks"
+            )
+        if self._chunks is None or block >= len(self._chunks):
+            return "hot"
+        entry = self._chunks[block]
+        return "hot" if isinstance(entry, np.ndarray) else entry.tier
+
+    def block_tiers(self) -> Dict[str, int]:
+        """Block counts per residency tier."""
+        counts = {"hot": 0, "warm": 0, "cold": 0}
+        for block in range(self.num_blocks):
+            counts[self.tier_of(block)] += 1
+        return counts
+
+    def block_value_error(self, block: int) -> float:
+        """The recorded max pointwise error bound of ``block``.
+
+        0.0 for hot and cold blocks (both exact); the measured
+        quantisation bound for warm blocks.  The column-wide floor
+        (inherited from a lossy source at materialisation time) is not
+        included — see :meth:`max_value_error`.
+        """
+        if self._chunks is None or block >= len(self._chunks):
+            return 0.0
+        entry = self._chunks[block]
+        return entry.value_error if isinstance(entry, _WarmBlock) else 0.0
+
+    def max_value_error(self) -> float:
+        """Max pointwise value-error bound across the whole column.
+
+        The honest per-value uncertainty of anything read from this
+        column: the max of all warm blocks' recorded quantisation
+        bounds and the floor inherited from lossy sources.  0.0 on the
+        all-hot fast path — estimates collapse to today's widths.
+        """
+        worst = self._value_error_floor
+        if self._chunks is not None:
+            for entry in self._chunks:
+                if isinstance(entry, _WarmBlock):
+                    worst = max(worst, entry.value_error)
+        return worst
+
+    def declare_value_error(self, bound: float) -> None:
+        """Raise the column's inherited value-error floor to ``bound``.
+
+        Used when materialising from a lossy source (take/filter over
+        a column with warm blocks): the copied values are raw ndarrays
+        again, but they were dequantised, so the bound must travel.
+        """
+        if bound > self._value_error_floor:
+            self._value_error_floor = float(bound)
+
+    def last_scanned(self, block: int) -> int:
+        """The access tick of ``block`` (0 = never scanned)."""
+        return self._block_ticks.get(block, 0)
+
+    @property
+    def demoted_access_tick(self) -> int:
+        """Tick of the last scan that touched a demoted block."""
+        return self._demoted_access_tick
+
+    @property
+    def quantisable(self) -> bool:
+        """Whether blocks of this column may demote to the warm tier.
+
+        Only floating-point payload columns quantise; hidden columns
+        (names starting with ``_``, e.g. the ``_pi`` inclusion
+        probabilities every estimate is weighted by) must stay exact,
+        so they may only go cold (which is lossless).
+        """
+        return np.issubdtype(self._dtype, np.floating) and not self.name.startswith(
+            "_"
+        )
+
+    def _sealed_rows(self) -> int:
+        return len(self._chunks) * self._block_size if self._chunks else 0
+
+    def _ensure_spill(self):
+        if self._spill is None:
+            from repro.core.persistence import ColumnBlockStore
+
+            self._spill = ColumnBlockStore()
+        return self._spill
+
+    def attach_spill(self, store) -> None:
+        """Use ``store`` for this column's spilled raw blocks.
+
+        Must be called before the first demotion; the governor wires a
+        shared (optionally on-disk, sidecar-described) store this way.
+        """
+        if self._spill is not None and self._spill is not store:
+            raise SchemaError(
+                f"column {self.name!r} already spilled blocks to another store"
+            )
+        self._spill = store
+
+    def _spill_key(self, block: int) -> str:
+        return f"{self.name}@{id(self):x}#{block}"
+
+    def _to_chunked(self) -> None:
+        """Switch from the contiguous buffer to per-block storage.
+
+        Full blocks become owned per-block arrays (so demotion can
+        actually free their bytes); the partial last block becomes the
+        growable append tail.  Zones fold first, so they are always
+        built from raw, pre-quantisation values.
+        """
+        if self._chunks is not None:
+            return
+        self._ensure_zones()
+        bs = self._block_size
+        n_sealed = self._size // bs
+        chunks: List[object] = [
+            self._data[i * bs : (i + 1) * bs].copy() for i in range(n_sealed)
+        ]
+        tail_rows = self._size - n_sealed * bs
+        tail = np.empty(max(_MIN_CAPACITY, tail_rows), dtype=self._dtype)
+        if tail_rows:
+            tail[:tail_rows] = self._data[n_sealed * bs : self._size]
+        self._chunks = chunks
+        self._tail = tail
+        self._tail_size = tail_rows
+        self._data = None
+
+    def demote(self, block: int, tier: str = "warm", bits: int = 8) -> bool:
+        """Demote one full block to the ``warm`` or ``cold`` tier.
+
+        Returns True when the block's residency changed.  The raw
+        bytes are always spilled first, so promotion is exact and
+        ``cold`` is lossless.  ``warm`` quantises to ``bits``-wide
+        signed codes (8 → int8, 16 → int16) and records the measured
+        max pointwise error; blocks the quantiser cannot bound
+        (non-finite values, non-float dtypes, hidden columns) fall
+        through to ``cold``.  Partial (tail) blocks never demote.
+        """
+        if tier not in ("warm", "cold"):
+            raise SchemaError(f"unknown tier {tier!r}; expected warm or cold")
+        if bits not in (8, 16):
+            raise SchemaError(f"warm quantisation supports 8 or 16 bits, not {bits}")
+        with self._tier_lock:
+            if (block + 1) * self._block_size > self._size:
+                return False  # partial tail block: stays hot
+            current = self.tier_of(block)
+            if current == tier or current == "cold":
+                return False
+            self._to_chunked()
+            entry = self._chunks[block]
+            if isinstance(entry, np.ndarray):
+                raw = entry
+                spill = self._ensure_spill()
+                key = self._spill_key(block)
+                if not spill.contains(key):
+                    spill.put(key, raw)
+            else:
+                raw = None  # warm → cold: raw already spilled
+            if tier == "warm":
+                warm = self._quantise(raw, bits)
+                if warm is None:
+                    tier = "cold"  # unquantisable: lossless fallback
+                else:
+                    self._chunks[block] = warm
+                    return True
+            self._chunks[block] = _ColdBlock(self._block_size)
+            return True
+
+    def promote(self, block: int) -> bool:
+        """Restore one demoted block to the hot tier, byte-identically.
+
+        The spill holds the original raw bytes, so promotion after any
+        demotion chain (hot→warm→cold) reproduces the exact pre-demote
+        values.  Returns True when the block's residency changed.
+        """
+        with self._tier_lock:
+            if self._chunks is None or block >= len(self._chunks):
+                return False
+            entry = self._chunks[block]
+            if isinstance(entry, np.ndarray):
+                return False
+            raw = self._spill.read(
+                self._spill_key(block), self._dtype, self._block_size
+            )
+            self._chunks[block] = np.array(raw, dtype=self._dtype)
+            return True
+
+    def promote_all(self) -> int:
+        """Promote every demoted block to hot; returns blocks promoted."""
+        if self._chunks is None:
+            return 0
+        return sum(1 for b in range(len(self._chunks)) if self.promote(b))
+
+    def _quantise(self, raw: Optional[np.ndarray], bits: int):
+        """Quantise one raw block, or None when it cannot be bounded."""
+        if raw is None or not self.quantisable:
+            return None
+        values = raw.astype(np.float64, copy=False)
+        if not np.isfinite(values).all():
+            return None
+        lo = float(values.min()) if values.shape[0] else 0.0
+        hi = float(values.max()) if values.shape[0] else 0.0
+        qlo = -(1 << (bits - 1))
+        levels = (1 << bits) - 1
+        span = hi - lo
+        code_dtype = np.int8 if bits == 8 else np.int16
+        if span == 0.0:
+            codes = np.full(values.shape[0], qlo, dtype=code_dtype)
+            warm = _WarmBlock(codes, lo, 0.0, qlo, 0.0, values.shape[0])
+        else:
+            scale = span / levels
+            codes = np.clip(
+                np.rint((values - lo) / scale) + qlo, qlo, qlo + levels
+            ).astype(code_dtype)
+            warm = _WarmBlock(codes, lo, scale, qlo, 0.0, values.shape[0])
+            dequantised = warm.dequantise(np.float64)
+            warm.value_error = float(np.abs(dequantised - values).max())
+        return warm
+
+    # ------------------------------------------------------------------
+    # tier-aware reads
+    # ------------------------------------------------------------------
+    def _touch(self, first_block: int, last_block: int) -> None:
+        tick = next(_TICK)
+        for block in range(first_block, last_block + 1):
+            self._block_ticks[block] = tick
+
+    def _block_values(self, block: int) -> np.ndarray:
+        """The values of one block (chunked mode), materialised.
+
+        Hot blocks and the tail return aliasing views; warm blocks
+        dequantise and cold blocks mmap-read from the spill — both
+        counted in :attr:`decompressions` and recorded as demoted-block
+        accesses for the governor's promote-on-access signal.
+        """
+        assert self._chunks is not None
+        if block >= len(self._chunks):
+            lo = block * self._block_size - self._sealed_rows()
+            hi = min(lo + self._block_size, self._tail_size)
+            return self._tail[lo:hi]
+        entry = self._chunks[block]
+        if isinstance(entry, np.ndarray):
+            return entry
+        self.decompressions += 1
+        self._demoted_access_tick = self._block_ticks.get(block, 0) or next(_TICK)
+        if isinstance(entry, _WarmBlock):
+            return entry.dequantise(self._dtype)
+        return self._spill.read(
+            self._spill_key(block), self._dtype, self._block_size
+        )
+
+    def _scratch_buffer(self, n: int) -> np.ndarray:
+        buffer = getattr(self._scratch, "buffer", None)
+        if buffer is None or buffer.shape[0] < n:
+            buffer = np.empty(
+                max(n, min(self._block_size, self._size or n)), dtype=self._dtype
+            )
+            self._scratch.buffer = buffer
+        buffer.flags.writeable = True
+        return buffer
+
+    def _materialise_range(
+        self, start: int, stop: int, out: Optional[np.ndarray] = None, touch=True
+    ) -> np.ndarray:
+        """Assemble rows ``[start, stop)`` across block boundaries."""
+        n = stop - start
+        if out is None:
+            out = np.empty(n, dtype=self._dtype)
+        bs = self._block_size
+        block = start // bs
+        pos = 0
+        while pos < n:
+            row = start + pos
+            block = row // bs
+            take = min(n - pos, (block + 1) * bs - row)
+            values = self._block_values(block)
+            offset = row - block * bs
+            out[pos : pos + take] = values[offset : offset + take]
+            pos += take
+        if touch:
+            self._touch(start // bs, (stop - 1) // bs)
+        return out
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` for a scan, tier-aware and read-only.
+
+        The scan hot path: contiguous columns return the same
+        zero-copy view as before; chunked columns return views when
+        the range stays inside one hot block (or the tail) and
+        otherwise decompress per-block into a reused per-thread
+        scratch buffer — one allocation per (column, thread), not per
+        morsel.  Callers must consume the result before the next
+        ``read_range`` on the same column from the same thread.
+        """
+        start = max(int(start), 0)
+        stop = min(int(stop), self._size)
+        if stop <= start:
+            return np.empty(0, dtype=self._dtype)
+        data = self._data  # snapshot: see `values` on the demotion race
+        if data is not None:
+            self._touch(start // self._block_size, (stop - 1) // self._block_size)
+            view = data[start:stop]
+            view.flags.writeable = False
+            return view
+        bs = self._block_size
+        first = start // bs
+        last = (stop - 1) // bs
+        sealed = self._sealed_rows()
+        if start >= sealed:
+            self._touch(first, last)
+            view = self._tail[start - sealed : stop - sealed]
+            view.flags.writeable = False
+            return view
+        if first == last:
+            entry = self._chunks[first]
+            if isinstance(entry, np.ndarray):
+                self._touch(first, last)
+                view = entry[start - first * bs : stop - first * bs]
+                view.flags.writeable = False
+                return view
+        n = stop - start
+        out = self._materialise_range(start, stop, out=self._scratch_buffer(n))
+        view = out[:n]
+        view.flags.writeable = False
+        return view
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """``values[indices]`` without materialising the whole column.
+
+        Groups the requested rows by block and decompresses each
+        touched block at most once; zone-pruned (untouched) blocks are
+        never decompressed.  Returns an owned array.
+        """
+        arr, _ = self.gather_with_error(indices)
+        return arr
+
+    def gather_with_error(
+        self, indices: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """Gather plus the max value-error bound of the touched blocks."""
+        idx = np.asarray(indices)
+        if idx.dtype == np.bool_:
+            raise SchemaError(
+                f"gather on column {self.name!r} expects indices, got a mask"
+            )
+        idx = idx.astype(np.int64, copy=False)
+        data = self._data  # snapshot: see `values` on the demotion race
+        if data is not None:
+            view = data[: self._size]
+            view.flags.writeable = False
+            return view[idx], self._value_error_floor
+        if idx.size == 0:
+            return np.empty(0, dtype=self._dtype), self._value_error_floor
+        idx = np.where(idx < 0, idx + self._size, idx)
+        out = np.empty(idx.shape[0], dtype=self._dtype)
+        blocks = idx // self._block_size
+        worst = self._value_error_floor
+        for block in np.unique(blocks):
+            block = int(block)
+            sel = blocks == block
+            values = self._block_values(block)
+            out[sel] = values[idx[sel] - block * self._block_size]
+            worst = max(worst, self.block_value_error(block))
+            self._block_ticks[block] = next(_TICK)
+        return out, worst
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def _grow_to(self, capacity: int) -> None:
@@ -254,11 +770,39 @@ class Column:
         new_data[: self._size] = self._data[: self._size]
         self._data = new_data
 
+    def _grow_tail_to(self, capacity: int) -> None:
+        if capacity <= self._tail.shape[0]:
+            return
+        new_capacity = max(_MIN_CAPACITY, self._tail.shape[0])
+        while new_capacity < capacity:
+            new_capacity *= 2
+        new_tail = np.empty(new_capacity, dtype=self._dtype)
+        new_tail[: self._tail_size] = self._tail[: self._tail_size]
+        self._tail = new_tail
+
+    def _seal_full_tail_blocks(self) -> None:
+        """Move full blocks out of the tail into sealed hot chunks."""
+        bs = self._block_size
+        while self._tail_size >= bs:
+            self._chunks.append(self._tail[:bs].copy())
+            remaining = self._tail_size - bs
+            if remaining:
+                self._tail[:remaining] = self._tail[bs : self._tail_size].copy()
+            self._tail_size = remaining
+
     def append(self, value) -> None:
         """Append a single value, coercing to the column dtype."""
-        self._grow_to(self._size + 1)
-        self._data[self._size] = value
-        self._size += 1
+        if self._chunks is None:
+            self._grow_to(self._size + 1)
+            self._data[self._size] = value
+            self._size += 1
+            return
+        with self._tier_lock:
+            self._grow_tail_to(self._tail_size + 1)
+            self._tail[self._tail_size] = value
+            self._tail_size += 1
+            self._size += 1
+            self._seal_full_tail_blocks()
 
     def extend(self, values: Iterable) -> None:
         """Append many values at once (the vectorised load path)."""
@@ -276,9 +820,17 @@ class Column:
                 f"cannot load dtype {arr.dtype} into column "
                 f"{self.name!r} of dtype {self._dtype}"
             ) from exc
-        self._grow_to(self._size + arr.shape[0])
-        self._data[self._size : self._size + arr.shape[0]] = arr
-        self._size += arr.shape[0]
+        if self._chunks is None:
+            self._grow_to(self._size + arr.shape[0])
+            self._data[self._size : self._size + arr.shape[0]] = arr
+            self._size += arr.shape[0]
+            return
+        with self._tier_lock:
+            self._grow_tail_to(self._tail_size + arr.shape[0])
+            self._tail[self._tail_size : self._tail_size + arr.shape[0]] = arr
+            self._tail_size += arr.shape[0]
+            self._size += arr.shape[0]
+            self._seal_full_tail_blocks()
 
     # ------------------------------------------------------------------
     # derivation
@@ -301,6 +853,8 @@ class Column:
         works — the first regrow copies out of the external buffer —
         but shard workers never append.  Zone maps are computed
         lazily from the adopted values like any other column's.
+        Adopted columns start (and, absent demotions, stay) on the
+        contiguous fast path.
         """
         arr = np.asarray(values)
         if arr.ndim != 1:
@@ -318,13 +872,22 @@ class Column:
         return column
 
     def take(self, indices: np.ndarray) -> "Column":
-        """A new column holding ``values[indices]`` (materialised)."""
-        return Column(
+        """A new column holding ``values[indices]`` (materialised).
+
+        Tier-aware: touched blocks decompress at most once each, and
+        the result inherits the max value-error bound of the blocks it
+        was gathered from (a hot copy of dequantised values is still
+        only accurate to the quantisation bound).
+        """
+        gathered, error = self.gather_with_error(np.asarray(indices))
+        column = Column(
             self.name,
             self._dtype,
-            self.values[np.asarray(indices)],
+            gathered,
             block_size=self._block_size,
         )
+        column.declare_value_error(error)
+        return column
 
     def filter(self, mask: np.ndarray) -> "Column":
         """A new column holding rows where ``mask`` is True."""
@@ -334,10 +897,66 @@ class Column:
                 f"mask of length {mask.shape[0]} does not match column "
                 f"{self.name!r} of length {self._size}"
             )
-        return Column(
+        column = Column(
             self.name, self._dtype, self.values[mask], block_size=self._block_size
         )
+        column.declare_value_error(self.max_value_error())
+        return column
 
     def nbytes(self) -> int:
-        """Approximate live payload size in bytes (excludes slack)."""
-        return int(self._size * self._dtype.itemsize)
+        """RAM-resident payload bytes (excludes slack and cold spill).
+
+        The contiguous fast path reports live size × itemsize exactly
+        as before; with demoted blocks, warm blocks count their code
+        bytes and cold blocks count nothing — that difference is the
+        footprint the memory governor trades error bounds for.
+        """
+        if self._chunks is None:
+            return int(self._size * self._dtype.itemsize)
+        total = self._tail_size * self._dtype.itemsize
+        for entry in self._chunks:
+            total += entry.nbytes if not isinstance(entry, np.ndarray) else entry.nbytes
+        return int(total)
+
+    def nbytes_by_tier(self) -> Dict[str, int]:
+        """Payload bytes per residency tier.
+
+        ``hot`` and ``warm`` are RAM-resident; ``cold`` reports the
+        mmap-backed spill bytes (the block's raw payload on disk).
+        """
+        if self._chunks is None:
+            return {
+                "hot": int(self._size * self._dtype.itemsize),
+                "warm": 0,
+                "cold": 0,
+            }
+        report = {"hot": int(self._tail_size * self._dtype.itemsize), "warm": 0, "cold": 0}
+        itemsize = self._dtype.itemsize
+        for entry in self._chunks:
+            if isinstance(entry, np.ndarray):
+                report["hot"] += int(entry.nbytes)
+            elif isinstance(entry, _WarmBlock):
+                report["warm"] += int(entry.nbytes)
+            else:
+                report["cold"] += int(entry.length * itemsize)
+        return report
+
+    def block_report(self) -> List[Tuple[int, str, int, int]]:
+        """Per full block: ``(block, tier, last_scanned, ram_bytes)``.
+
+        The governor's demotion-candidate feed; partial tail blocks
+        (never demotable) are omitted.
+        """
+        bs = self._block_size
+        itemsize = self._dtype.itemsize
+        report = []
+        for block in range(self._size // bs):
+            tier = self.tier_of(block)
+            if tier == "hot":
+                ram = bs * itemsize
+            elif tier == "warm":
+                ram = self._chunks[block].nbytes
+            else:
+                ram = 0
+            report.append((block, tier, self.last_scanned(block), ram))
+        return report

@@ -55,11 +55,15 @@ class OperatorStats:
 # selection
 # ----------------------------------------------------------------------
 class _BlockView:
-    """A zero-copy row-range view of a table, for per-morsel evaluation.
+    """A row-range view of a table, for per-morsel evaluation.
 
     Implements exactly the surface predicates read during
     :meth:`~repro.columnstore.expressions.Expression.evaluate`:
-    ``view[column]`` and ``view.num_rows``.
+    ``view[column]`` and ``view.num_rows``.  Reads go through
+    :meth:`~repro.columnstore.column.Column.read_range`, so hot data
+    stays zero-copy while warm/cold blocks decompress per-block into
+    the column's reused per-thread scratch buffer — never the whole
+    column, and never a block the scan plan pruned.
     """
 
     __slots__ = ("_table", "_start", "_stop")
@@ -74,7 +78,7 @@ class _BlockView:
         return self._stop - self._start
 
     def __getitem__(self, name: str) -> np.ndarray:
-        return self._table[name][self._start : self._stop]
+        return self._table.column(name).read_range(self._start, self._stop)
 
 
 def scan_plan(

@@ -107,6 +107,11 @@ def estimate_cost(
         detail = f"scan {source.name}"
         if blocks_pruned:
             detail += f" ({blocks_pruned} blocks pruned)"
+        value_error = source.max_value_error()
+        if value_error > 0.0:
+            # the scan may read dequantised warm blocks: surface the
+            # pointwise bound the estimates will absorb
+            detail += f" (value error ≤ {value_error:g})"
         steps.append(PlanStep("select", float(rows_to_scan), detail))
     surviving = rows * selectivity
     for join in query.joins:

@@ -35,6 +35,7 @@ class RecyclerStats:
     misses: int = 0
     evictions: int = 0
     stored: int = 0
+    rejected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -99,7 +100,13 @@ class Recycler:
         """Cache selection indices, evicting LRU entries to fit."""
         indices = np.asarray(indices)
         if indices.nbytes > self.capacity_bytes:
-            return  # would evict everything and still not fit
+            # Would evict everything and still not fit.  Count it:
+            # a silently dropped entry looks identical to a stored one
+            # from the caller's side, so capacity misconfiguration was
+            # previously invisible in the stats.
+            with self._lock:
+                self.stats.rejected += 1
+            return
         key = self._key(table, predicate)
         with self._lock:
             if key in self._entries:

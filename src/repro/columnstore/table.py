@@ -159,8 +159,35 @@ class Table:
             yield self.row(i)
 
     def nbytes(self) -> int:
-        """Approximate payload size of all columns in bytes."""
+        """RAM-resident payload size of all columns in bytes.
+
+        Tier-aware: warm blocks count their quantised codes, cold
+        blocks count nothing (their raw bytes live in the spill).
+        """
         return sum(col.nbytes() for col in self._columns.values())
+
+    def nbytes_by_tier(self) -> Dict[str, int]:
+        """Payload bytes per residency tier, summed over columns."""
+        report = {"hot": 0, "warm": 0, "cold": 0}
+        for col in self._columns.values():
+            for tier, size in col.nbytes_by_tier().items():
+                report[tier] += size
+        return report
+
+    @property
+    def is_fully_hot(self) -> bool:
+        """Whether every block of every column is a raw hot ndarray."""
+        return all(col.is_fully_hot for col in self._columns.values())
+
+    def max_value_error(self) -> float:
+        """Max pointwise value-error bound across all columns."""
+        if not self._columns:
+            return 0.0
+        return max(col.max_value_error() for col in self._columns.values())
+
+    def promote_all(self) -> int:
+        """Promote every demoted block to hot; returns blocks promoted."""
+        return sum(col.promote_all() for col in self._columns.values())
 
     def __repr__(self) -> str:
         return (
@@ -232,18 +259,15 @@ class Table:
         for n in names:
             if n not in self._columns:
                 raise UnknownColumnError(self.name, n)
-        return Table(
-            name or f"{self.name}#project",
-            [
-                Column(
-                    n,
-                    self._columns[n].dtype,
-                    self._columns[n].values,
-                    block_size=self._columns[n].block_size,
-                )
-                for n in names
-            ],
-        )
+        projected = []
+        for n in names:
+            source = self._columns[n]
+            column = Column(
+                n, source.dtype, source.values, block_size=source.block_size
+            )
+            column.declare_value_error(source.max_value_error())
+            projected.append(column)
+        return Table(name or f"{self.name}#project", projected)
 
     @classmethod
     def from_arrays(

@@ -335,7 +335,17 @@ class BoundedQueryProcessor:
 
         if contract.is_exact:
             # an exact contract goes straight to the base columns —
-            # no impression rung is ever considered
+            # no impression rung is ever considered.  Any demoted
+            # block a scan could touch is force-promoted first: the
+            # spill holds the raw bytes, so the promoted scan is
+            # byte-identical to one over a never-demoted table.  A row
+            # query without an explicit select returns every column.
+            if query.is_aggregate or query.select:
+                for name in query.columns_read():
+                    if base.has_column(name):
+                        base.column(name).promote_all()
+            else:
+                base.promote_all()
             ladder: List[Optional[Impression]] = [None]
         else:
             ladder = list(self.hierarchy.candidates_for(query, base))
@@ -699,11 +709,19 @@ class BoundedQueryProcessor:
             if ids is None
             else np.asarray(ids, dtype=np.int64)[indices]
         )
-        columns = {name: scan_table[name][indices] for name in needed}
+        # gather per touched block (demoted blocks decompress at most
+        # once, pruned ones never) and record the worst pointwise drift
+        # bound of the blocks actually read
+        columns: Dict[str, np.ndarray] = {}
+        value_error = 0.0
+        for name in needed:
+            values, error = scan_table.column(name).gather_with_error(indices)
+            columns[name] = values
+            value_error = max(value_error, error)
         # scanned_rows is the charged quantity: rows the scan actually
         # read (post zone-map pruning), not the candidate delta size
         delta_fold = FoldState.from_scan(
-            matched_ids, columns, scanned_rows=op.tuples_in
+            matched_ids, columns, scanned_rows=op.tuples_in, value_error=value_error
         )
         fold = delta_fold if fold is None else fold.fold(delta_fold)
         return fold, next_consumed, stats, op
@@ -734,10 +752,14 @@ class BoundedQueryProcessor:
             )
         positions = rung.positions_of(fold.row_ids)
         order = np.argsort(positions, kind="stable")
-        columns = [
-            Column(name, values.dtype, values[order])
-            for name, values in fold.columns.items()
-        ]
+        columns = []
+        for name, values in fold.columns.items():
+            column = Column(name, values.dtype, values[order])
+            # the fold's values may have been read from dequantised
+            # warm blocks: the working copy must carry the bound so
+            # the estimator widens its CIs accordingly
+            column.declare_value_error(fold.value_error)
+            columns.append(column)
         pis = rung.inclusion_probabilities()[positions[order]]
         columns.append(Column(PI_COLUMN, np.float64, pis))
         working = Table(f"{base.name}§{rung.name}#fold", columns)
@@ -758,8 +780,14 @@ class BoundedQueryProcessor:
 
         Mirrors the executor's aggregate finishing exactly — same
         operators over the same rows in the same (base) order — while
-        having charged only the complement scan.
+        having charged only the complement scan.  "Exact" holds only
+        when every scanned block was hot or cold (raw bytes); a fold
+        that read dequantised warm blocks carries a non-zero
+        ``value_error``, and the answer degrades honestly to a
+        near-exact estimate whose deterministic bound is the
+        propagated quantisation drift.
         """
+        from repro.stats.estimators import propagated_value_error
         # the row-id column only exists to give the working table its
         # row count when no value columns are tracked (e.g. COUNT(*));
         # pick a name that cannot collide with a tracked fact column
@@ -772,6 +800,7 @@ class BoundedQueryProcessor:
             for name, values in fold.columns.items()
         )
         working = Table(f"{base.name}#fold", columns)
+        exact = fold.value_error == 0.0
         if query.group_by:
             result, op = operators.group_aggregate(
                 working, query.group_by, query.aggregates
@@ -788,18 +817,52 @@ class BoundedQueryProcessor:
                 result, op = operators.limit(result, query.limit)
                 context.charge(op.cost)
                 stats.add(op)
+            group_estimates = None
+            if not exact:
+                # per-group deterministic bounds (se = 0): conservative
+                # matched weight = the whole fold's matched rows
+                group_estimates = {}
+                for spec in query.aggregates:
+                    group_estimates[spec.output_name] = [
+                        _exact_estimate(
+                            value,
+                            confidence,
+                            base.num_rows,
+                            value_error=propagated_value_error(
+                                spec.fn,
+                                fold.value_error,
+                                float(fold.matched),
+                                float(value),
+                            ),
+                        )
+                        for value in np.asarray(
+                            result[spec.output_name], dtype=float
+                        )
+                    ]
             return EstimatedResult(
                 query=query,
                 source=base.name,
                 stats=stats,
                 groups=result,
-                exact=True,
+                group_estimates=group_estimates,
+                exact=exact,
             )
         scalars, op = operators.aggregate(working, query.aggregates)
         context.charge(op.cost)
         stats.add(op)
+        bounds = {
+            spec.output_name: propagated_value_error(
+                spec.fn,
+                fold.value_error,
+                float(fold.matched),
+                float(scalars[spec.output_name]),
+            )
+            for spec in query.aggregates
+        }
         estimates: Dict[str, object] = {
-            name: _exact_estimate(value, confidence, base.num_rows)
+            name: _exact_estimate(
+                value, confidence, base.num_rows, value_error=bounds.get(name, 0.0)
+            )
             for name, value in scalars.items()
         }
         return EstimatedResult(
@@ -807,7 +870,7 @@ class BoundedQueryProcessor:
             source=base.name,
             stats=stats,
             estimates=estimates,
-            exact=True,
+            exact=exact,
         )
 
     def _has_smaller_affordable(
@@ -848,11 +911,40 @@ def exact_estimated_result(
 
     Shared by the processor's final exact rung and the engine's
     ``Contract.exact()`` fast path (which bypasses the ladder — and
-    works on tables with no hierarchy at all).
+    works on tables with no hierarchy at all).  "Exact" is claimed
+    only when the scanned table holds no quantised (warm) blocks: the
+    engine's exact path force-promotes first, so it always lands here
+    with a zero bound; a ladder's answer-of-last-resort over a
+    demoted table degrades honestly to a bounded near-exact estimate.
     """
+    from repro.stats.estimators import propagated_value_error
+
+    if query.is_aggregate or query.select:
+        value_error = max(
+            (
+                base.column(name).max_value_error()
+                for name in query.columns_read()
+                if base.has_column(name)
+            ),
+            default=0.0,
+        )
+    else:
+        value_error = base.max_value_error()
+    is_exact = value_error == 0.0
     if query.is_aggregate and not query.group_by:
+        by_name = {spec.output_name: spec.fn for spec in query.aggregates}
         estimates = {
-            name: _exact_estimate(value, confidence, base.num_rows)
+            name: _exact_estimate(
+                value,
+                confidence,
+                base.num_rows,
+                value_error=propagated_value_error(
+                    by_name.get(name, "avg"),
+                    value_error,
+                    float(base.num_rows),
+                    float(value),
+                ),
+            )
             for name, value in (exact.scalars or {}).items()
         }
         return EstimatedResult(
@@ -860,7 +952,7 @@ def exact_estimated_result(
             source=base.name,
             stats=exact.stats,
             estimates=estimates,
-            exact=True,
+            exact=is_exact,
         )
     if query.group_by:
         return EstimatedResult(
@@ -868,25 +960,28 @@ def exact_estimated_result(
             source=base.name,
             stats=exact.stats,
             groups=exact.rows,
-            exact=True,
+            exact=is_exact,
         )
     return EstimatedResult(
         query=query,
         source=base.name,
         stats=exact.stats,
         rows=exact.rows,
-        exact=True,
+        exact=is_exact,
     )
 
 
-def _exact_estimate(value: float, confidence: float, population: int):
+def _exact_estimate(
+    value: float, confidence: float, population: int, value_error: float = 0.0
+):
     from repro.stats.estimators import Estimate
 
     return Estimate(
         value=float(value),
         se=0.0,
         confidence=confidence,
-        method="exact",
+        method="exact" if value_error == 0.0 else "exact-within-bound",
         sample_size=population,
         population_size=population,
+        value_error=value_error,
     )

@@ -144,6 +144,10 @@ class SciBorq:
         # base-table scans scatter across worker processes with
         # byte-identical gathers (see core/shards).
         self._shard_pool = None
+        # memory governor (installed by the server layer or directly):
+        # demotes least-recently-scanned blocks hot→warm→cold to keep
+        # the engine-wide footprint inside a byte budget (core/governor).
+        self._memory_governor = None
         # Serialises workload bookkeeping (query log, predicate
         # collector, interest, drift) so concurrent sessions can share
         # one engine; the server layer relies on this.
@@ -362,6 +366,82 @@ class SciBorq:
         """The installed process-shard pool, or ``None``."""
         return self._shard_pool
 
+    def set_memory_governor(self, governor) -> None:
+        """Install (or remove, with ``None``) a memory governor.
+
+        The governor (:class:`~repro.core.governor.MemoryGovernor`)
+        caps the engine-wide RAM footprint — catalog tables,
+        materialised impression payloads, and the recycler — by
+        demoting least-recently-scanned column blocks hot→warm→cold
+        and promoting them back on access.  Enforcement runs after
+        every ingest and, when the server layer is in front, after
+        query completions.  Answers stay honest by construction:
+        demoted-block error bounds ride every estimate's
+        ``value_error`` and exact contracts force-promote first.
+        """
+        self._memory_governor = governor
+        if governor is not None:
+            governor.enforce(self)
+
+    @property
+    def memory_governor(self):
+        """The installed memory governor, or ``None``."""
+        return self._memory_governor
+
+    def enforce_memory(self) -> None:
+        """Run one governor enforcement pass (no-op without one)."""
+        if self._memory_governor is not None:
+            self._memory_governor.enforce(self)
+
+    def memory_report(self) -> Dict[str, object]:
+        """Engine-wide memory accounting, per component and per tier.
+
+        Aggregates every catalog table's RAM bytes (split hot/warm and
+        the cold spill bytes), every materialised impression payload,
+        and the recycler — the footprint the memory governor compares
+        against its budget (``ram_total`` excludes cold spill bytes,
+        which live on disk, not in RAM).
+        """
+        tables: Dict[str, Dict[str, int]] = {}
+        tiers = {"hot": 0, "warm": 0, "cold": 0}
+        for name in self.catalog.table_names:
+            by_tier = self.catalog.table(name).nbytes_by_tier()
+            tables[name] = by_tier
+            for tier, size in by_tier.items():
+                tiers[tier] += size
+        impressions: Dict[str, int] = {}
+        impressions_total = 0
+        for named in self._hierarchies.values():
+            for hierarchy in named.values():
+                base = self.catalog.table(hierarchy.base_table)
+                for impression in hierarchy.layers:
+                    size = impression.memory_bytes(base)
+                    impressions[impression.name] = size
+                    impressions_total += size
+        recycler_bytes = (
+            int(self.recycler.size_bytes) if self.recycler is not None else 0
+        )
+        ram_total = tiers["hot"] + tiers["warm"] + impressions_total + recycler_bytes
+        report: Dict[str, object] = {
+            "tables": tables,
+            "tiers": tiers,
+            "impressions": impressions,
+            "impressions_bytes": impressions_total,
+            "recycler_bytes": recycler_bytes,
+            "ram_total": ram_total,
+            "cold_bytes": tiers["cold"],
+        }
+        governor = self._memory_governor
+        if governor is not None:
+            report["budget_bytes"] = governor.budget_bytes
+            report["governor"] = {
+                "demotions_warm": governor.stats.demotions_warm,
+                "demotions_cold": governor.stats.demotions_cold,
+                "promotions": governor.stats.promotions,
+                "enforcements": governor.stats.enforcements,
+            }
+        return report
+
     def self_tuning_sample(self, table: str) -> SelfTuningReservoir:
         """The self-tuning reservoir for ``table`` (raises if absent)."""
         try:
@@ -375,8 +455,14 @@ class SciBorq:
     # data path
     # ------------------------------------------------------------------
     def ingest(self, table: str, batch: Mapping[str, np.ndarray]) -> int:
-        """Append a batch; impressions update as it streams through."""
-        return self.loader.load_batch(table, batch)
+        """Append a batch; impressions update as it streams through.
+
+        Ingest is when the footprint grows, so the memory governor
+        (when installed) runs an enforcement pass right after.
+        """
+        loaded = self.loader.load_batch(table, batch)
+        self.enforce_memory()
+        return loaded
 
     # ------------------------------------------------------------------
     # query path
@@ -492,12 +578,31 @@ class SciBorq:
         side-effect, paper §5).
         """
         query = expand_view(self.catalog, query)
+        self._promote_for_exact(query)
         with self._workload_lock:
             self.query_log.record(query)
             self.collector.observe(query)
         result = self._base_executor.execute(query, context=context)
         self._offer_recycled_rows(query)
         return result
+
+    def _promote_for_exact(self, query: Query) -> None:
+        """Restore every block an exact scan could touch to hot.
+
+        Exact means byte-exact: warm blocks hold lossy codes, so the
+        spill's raw bytes come back first.  A row query without an
+        explicit select returns every column, so it promotes the
+        whole table.
+        """
+        base = self.catalog.table(query.table)
+        if base.is_fully_hot:
+            return
+        if query.is_aggregate or query.select:
+            for name in query.columns_read():
+                if base.has_column(name):
+                    base.column(name).promote_all()
+        else:
+            base.promote_all()
 
     # ------------------------------------------------------------------
     # execution streams behind submit()
@@ -532,6 +637,7 @@ class SciBorq:
         tables with no hierarchy: the base executor is all it needs.
         """
         base = self.catalog.table(query.table)
+        self._promote_for_exact(query)
         if context is None:
             context = (
                 context_factory()
@@ -683,4 +789,16 @@ class SciBorq:
             f"{self.interest!r}; drift events: {self.planner.drift_events}"
         )
         lines.append(f"clock: {self.clock.now:g} cost units")
+        report = self.memory_report()
+        tiers = report["tiers"]
+        memory_line = (
+            f"memory: {report['ram_total']} B RAM "
+            f"(hot {tiers['hot']}, warm {tiers['warm']}, "
+            f"impressions {report['impressions_bytes']}, "
+            f"recycler {report['recycler_bytes']}); "
+            f"cold spill {report['cold_bytes']} B"
+        )
+        if "budget_bytes" in report:
+            memory_line += f"; budget {report['budget_bytes']} B"
+        lines.append(memory_line)
         return "\n".join(lines)

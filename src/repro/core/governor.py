@@ -1,0 +1,239 @@
+"""Engine-wide memory governance over tiered column blocks.
+
+SciBORQ's contracts trade accuracy for *runtime*; the governor applies
+the same formalism to *memory* (ROADMAP "Error-bounded compressed
+column blocks").  It tracks the engine's RAM-resident footprint —
+catalog tables, materialised impression payloads, and the recycler —
+against a byte budget, and when the budget is exceeded it demotes the
+least-recently-scanned full blocks ``hot → warm`` (error-bounded int8
+/int16 quantisation) and then ``warm → cold`` (mmap-backed raw spill,
+exact) until the footprint fits.  Blocks a later scan touches are
+promoted back while headroom allows, so the working set migrates to
+hot and the archive tail pays for it.
+
+Honesty is structural, not policed here: a warm block's recorded
+pointwise bound rides every estimate's ``value_error`` (see
+:mod:`repro.stats.estimators`), cold blocks are byte-exact, and exact
+contracts force-promote before scanning — the governor can therefore
+demote *anything* demotable without ever making an answer silently
+wrong, only honestly wider.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.columnstore.column import Column
+from repro.columnstore.table import Table
+from repro.util.validation import require
+
+#: Fraction of the budget promotion may fill back up.  Promoting to
+#: 100% would re-trigger demotion on the next enforce and thrash.
+PROMOTE_HEADROOM = 0.8
+
+
+@dataclass
+class GovernorStats:
+    """Counters of the governor's tiering decisions."""
+
+    demotions_warm: int = 0
+    demotions_cold: int = 0
+    promotions: int = 0
+    enforcements: int = 0
+    #: footprint observed at the last enforce, RAM bytes
+    last_footprint: int = 0
+
+
+@dataclass
+class _Candidate:
+    tick: int
+    ram_bytes: int
+    column: Column
+    block: int
+    tier: str = "hot"
+    sequence: int = field(default=0)
+
+
+class MemoryGovernor:
+    """Demote least-recently-scanned blocks to fit a byte budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Target RAM footprint for tables + impression payloads +
+        recycler.  The governor demotes until at or under it (or until
+        nothing demotable remains — partial tail blocks and already
+        cold blocks cannot shrink further).
+    warm_bits:
+        Quantisation width for the warm tier (8 or 16).
+    spill:
+        Optional shared :class:`~repro.core.persistence.ColumnBlockStore`
+        every governed column spills to (a named store gives restart
+        persistence via its sidecar); by default each column lazily
+        creates its own anonymous store.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        warm_bits: int = 8,
+        spill=None,
+    ) -> None:
+        require(budget_bytes > 0, "memory budget must be positive")
+        require(warm_bits in (8, 16), "warm_bits must be 8 or 16")
+        self.budget_bytes = int(budget_bytes)
+        self.warm_bits = warm_bits
+        self.spill = spill
+        self.stats = GovernorStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def enforce(self, engine) -> GovernorStats:
+        """Bring the engine's RAM footprint inside the budget.
+
+        Called after ingest and after query completions (cheap when
+        under budget: one footprint sum).  Demotes LRU-first, then
+        promotes recently-scanned demoted blocks while the footprint
+        stays under :data:`PROMOTE_HEADROOM` × budget.
+        """
+        with self._lock:
+            self.stats.enforcements += 1
+            tables = list(self._governed_tables(engine))
+            footprint = self._footprint(engine, tables)
+            if footprint > self.budget_bytes:
+                footprint = self._demote_until_fits(tables, footprint)
+            else:
+                footprint = self._promote_while_fits(tables, footprint)
+            self.stats.last_footprint = int(footprint)
+            return self.stats
+
+    # ------------------------------------------------------------------
+    def _governed_tables(self, engine) -> Iterable[Table]:
+        for name in engine.catalog.table_names:
+            yield engine.catalog.table(name)
+        for named in getattr(engine, "_hierarchies", {}).values():
+            for hierarchy in named.values():
+                for impression in hierarchy.layers:
+                    cached = impression.cached_table()
+                    if cached is not None:
+                        yield cached
+
+    def _footprint(self, engine, tables: List[Table]) -> int:
+        """The same RAM total :meth:`SciBorq.memory_report` reports.
+
+        Sharing one accounting matters: un-materialised impression
+        payloads (sampler state, row ids) are RAM the governor cannot
+        demote, so they must still count against the budget — else the
+        governor declares victory at a footprint the report refutes.
+        """
+        report = engine.memory_report()
+        return int(report["ram_total"])
+
+    def _columns(self, tables: List[Table]) -> Iterable[Column]:
+        for table in tables:
+            for name in table.column_names:
+                column = table.column(name)
+                if self.spill is not None and column.is_fully_hot:
+                    try:
+                        column.attach_spill(self.spill)
+                    except Exception:
+                        pass  # column already spilled elsewhere
+                yield column
+
+    def _demote_until_fits(self, tables: List[Table], footprint: int) -> int:
+        candidates: List[_Candidate] = []
+        sequence = 0
+        for column in self._columns(tables):
+            for block, tier, tick, ram in column.block_report():
+                if tier == "cold" or ram == 0:
+                    continue
+                candidates.append(
+                    _Candidate(tick, ram, column, block, tier, sequence)
+                )
+                sequence += 1
+        # least-recently-scanned first; stable on insertion order
+        candidates.sort(key=lambda c: (c.tick, c.sequence))
+        # pass 1: hot → warm (quantisable) or cold; pass 2: warm → cold
+        for passes in ("hot", "warm"):
+            for cand in candidates:
+                if footprint <= self.budget_bytes:
+                    return footprint
+                if cand.tier != passes:
+                    continue
+                column, block = cand.column, cand.block
+                before = self._block_ram(column, block)
+                if passes == "hot" and column.quantisable:
+                    if not column.demote(block, "warm", self.warm_bits):
+                        continue
+                else:
+                    if not column.demote(block, "cold"):
+                        continue
+                after = self._block_ram(column, block)
+                if column.tier_of(block) == "warm":
+                    self.stats.demotions_warm += 1
+                    cand.tier = "warm"
+                else:
+                    self.stats.demotions_cold += 1
+                    cand.tier = "cold"
+                footprint -= before - after
+        return footprint
+
+    def _promote_while_fits(self, tables: List[Table], footprint: int) -> int:
+        ceiling = PROMOTE_HEADROOM * self.budget_bytes
+        if footprint >= ceiling:
+            return footprint
+        demoted: List[Tuple[int, Column, int, int]] = []
+        for column in self._columns(tables):
+            if column.is_fully_hot or column.demoted_access_tick == 0:
+                continue
+            raw = column.block_size * column.dtype.itemsize
+            for block, tier, tick, ram in column.block_report():
+                if tier == "hot" or tick == 0:
+                    continue
+                demoted.append((tick, column, block, raw - ram))
+        # most-recently-scanned first: the working set comes back hot
+        demoted.sort(key=lambda item: -item[0])
+        for tick, column, block, growth in demoted:
+            if footprint + growth > ceiling:
+                break
+            if column.promote(block):
+                self.stats.promotions += 1
+                footprint += growth
+        return footprint
+
+    @staticmethod
+    def _block_ram(column: Column, block: int) -> int:
+        tier = column.tier_of(block)
+        if tier == "hot":
+            return column.block_size * column.dtype.itemsize
+        if tier == "warm":
+            for b, t, _, ram in column.block_report():
+                if b == block:
+                    return ram
+        return 0
+
+
+def governor_from_env(
+    value: Optional[str], warm_bits: int = 8
+) -> Optional[MemoryGovernor]:
+    """Parse a ``SCIBORQ_MEMORY_BUDGET`` value into a governor.
+
+    Accepts plain bytes (``"268435456"``) or a ``k``/``m``/``g``
+    suffix (``"256m"``).  Empty/absent/unparsable → None (no governor).
+    """
+    if not value:
+        return None
+    text = value.strip().lower()
+    multiplier = 1
+    if text and text[-1] in "kmg":
+        multiplier = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        budget = int(float(text) * multiplier)
+    except ValueError:
+        return None
+    if budget <= 0:
+        return None
+    return MemoryGovernor(budget, warm_bits=warm_bits)

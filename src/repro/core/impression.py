@@ -388,13 +388,27 @@ class Impression:
         return ids, table
 
     # ------------------------------------------------------------------
-    def memory_bytes(self, base: Table) -> int:
-        """Approximate footprint of the materialised impression.
+    def cached_table(self) -> Optional[Table]:
+        """The currently-materialised payload table, or ``None``.
 
-        Computed analytically from dtype widths × held tuples (plus
-        the hidden ``_pi`` float column), so sizing decisions never
-        force a materialisation.
+        The memory governor demotes impression payload blocks through
+        this handle exactly like catalog-table blocks; a ``None``
+        (nothing materialised) costs nothing and governs nothing.
         """
+        return self._cached
+
+    def memory_bytes(self, base: Table) -> int:
+        """RAM footprint of the materialised impression.
+
+        Tier-aware when a payload is materialised: demoted blocks
+        report their compressed (warm) or zero (cold) RAM cost.  With
+        no live materialisation the footprint is computed analytically
+        from dtype widths × held tuples (plus the hidden ``_pi`` float
+        column), so sizing decisions never force one.
+        """
+        cached = self._cached
+        if cached is not None:
+            return int(cached.nbytes())
         names = (
             list(self.columns) if self.columns is not None else base.column_names
         )

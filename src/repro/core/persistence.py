@@ -18,6 +18,9 @@ expected-churn bookkeeping, exactly as after a πps rebuild).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -25,8 +28,13 @@ import numpy as np
 from repro.core.hierarchy import ImpressionHierarchy
 from repro.errors import ImpressionError
 
-#: Format marker for forward compatibility.
-FORMAT_VERSION = 1
+#: Format marker for forward compatibility.  Version 2 adds the
+#: column-block spill sidecar (:class:`ColumnBlockStore`); version-1
+#: hierarchy snapshots remain loadable.
+FORMAT_VERSION = 2
+
+#: Snapshot versions :func:`read_snapshot_metadata` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_hierarchy(hierarchy: ImpressionHierarchy, path: str | Path) -> Path:
@@ -70,10 +78,10 @@ def read_snapshot_metadata(path: str | Path) -> dict:
     with np.load(Path(path)) as bundle:
         raw = bundle["metadata"].tobytes().decode("utf-8")
     metadata = json.loads(raw)
-    if metadata.get("format_version") != FORMAT_VERSION:
+    if metadata.get("format_version") not in SUPPORTED_VERSIONS:
         raise ImpressionError(
             f"snapshot format {metadata.get('format_version')!r} is not "
-            f"supported (expected {FORMAT_VERSION})"
+            f"supported (expected one of {SUPPORTED_VERSIONS})"
         )
     return metadata
 
@@ -114,3 +122,126 @@ def load_hierarchy(hierarchy: ImpressionHierarchy, path: str | Path) -> None:
                 seen=saved["seen"],
             )
             impression.set_inclusion_override(None)
+
+
+class ColumnBlockStore:
+    """Append-only raw-block spill file with mmap-backed reads.
+
+    The cold tier's backing store (see
+    :mod:`repro.columnstore.column`): when a block first demotes, its
+    exact raw bytes are written here once; every later read — a cold
+    scan or a promotion back to hot — maps those bytes read-only via
+    ``np.memmap``, so cold blocks cost no RAM until touched and
+    promotion is byte-identical by construction.
+
+    Entries are immutable (one ``put`` per key) and keyed by an opaque
+    string the column derives from its identity and block index.  By
+    default the store uses an anonymous temporary file that the OS
+    reclaims when the process exits; pass ``path`` to spill to a named
+    file with a JSON **sidecar** (``<path>.blocks.json``) describing
+    ``format_version`` and the key → (offset, count, dtype) index, so
+    a partially-cold table can be reattached after restart.
+    """
+
+    SIDECAR_SUFFIX = ".blocks.json"
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._index: dict[str, tuple[int, int, str]] = {}
+        self._offset = 0
+        if self._path is None:
+            self._file = tempfile.TemporaryFile(prefix="sciborq-blocks-")
+        else:
+            self._file = open(self._path, "a+b")
+            sidecar = self.sidecar_path()
+            if sidecar.exists():
+                payload = json.loads(sidecar.read_text())
+                if payload.get("format_version") not in SUPPORTED_VERSIONS:
+                    raise ImpressionError(
+                        f"block sidecar format "
+                        f"{payload.get('format_version')!r} is not supported "
+                        f"(expected one of {SUPPORTED_VERSIONS})"
+                    )
+                self._index = {
+                    key: (int(off), int(count), dtype)
+                    for key, (off, count, dtype) in payload["index"].items()
+                }
+                self._offset = self._path.stat().st_size
+
+    def sidecar_path(self) -> Path:
+        """The JSON sidecar path for a named store."""
+        if self._path is None:
+            raise ImpressionError("anonymous block stores have no sidecar")
+        return self._path.with_name(self._path.name + self.SIDECAR_SUFFIX)
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` was already spilled."""
+        with self._lock:
+            return key in self._index
+
+    @property
+    def keys(self) -> list[str]:
+        """All spilled keys (insertion order)."""
+        with self._lock:
+            return list(self._index)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total raw bytes spilled so far."""
+        with self._lock:
+            return self._offset
+
+    def put(self, key: str, values: np.ndarray) -> None:
+        """Spill one block's raw bytes under ``key`` (write-once)."""
+        arr = np.ascontiguousarray(values)
+        with self._lock:
+            if key in self._index:
+                raise ImpressionError(f"block {key!r} already spilled")
+            self._file.seek(self._offset)
+            self._file.write(arr.tobytes())
+            self._file.flush()
+            self._index[key] = (self._offset, int(arr.shape[0]), arr.dtype.str)
+            self._offset += arr.nbytes
+        if self._path is not None:
+            self._write_sidecar()
+
+    def read(self, key: str, dtype, count: int | None = None) -> np.ndarray:
+        """A read-only mmap view of the block spilled under ``key``."""
+        with self._lock:
+            if key not in self._index:
+                raise ImpressionError(f"no spilled block under {key!r}")
+            offset, stored_count, stored_dtype = self._index[key]
+        dtype = np.dtype(dtype)
+        if dtype != np.dtype(stored_dtype):
+            raise ImpressionError(
+                f"block {key!r} was spilled as {stored_dtype}, not {dtype}"
+            )
+        if count is not None and count != stored_count:
+            raise ImpressionError(
+                f"block {key!r} holds {stored_count} values, not {count}"
+            )
+        return np.memmap(
+            self._file,
+            dtype=dtype,
+            mode="r",
+            offset=offset,
+            shape=(stored_count,),
+        )
+
+    def _write_sidecar(self) -> None:
+        with self._lock:
+            payload = {
+                "format_version": FORMAT_VERSION,
+                "index": {
+                    key: [off, count, dtype]
+                    for key, (off, count, dtype) in self._index.items()
+                },
+            }
+        tmp = self.sidecar_path().with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.sidecar_path())
+
+    def close(self) -> None:
+        """Close the backing file (reads fail afterwards)."""
+        self._file.close()

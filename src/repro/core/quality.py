@@ -20,7 +20,7 @@ to escalate to a more detailed layer.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -39,6 +39,7 @@ from repro.stats.estimators import (
     hajek_mean,
     ht_count,
     ht_sum,
+    propagated_value_error,
     srs_count,
     srs_mean,
     srs_sum,
@@ -237,8 +238,46 @@ class ImpressionEstimator:
         population: int,
         uniform: bool,
         confidence: float,
+        value_error: float = 0.0,
     ) -> Estimate:
-        """Dispatch one aggregate to the design-appropriate estimator."""
+        """Dispatch one aggregate to the design-appropriate estimator.
+
+        ``value_error`` is the max pointwise drift bound of the scanned
+        values (non-zero when the scan read dequantised warm blocks);
+        it is propagated through the aggregate into the estimate's
+        ``value_error`` so the reported CI absorbs it.
+        """
+        estimate = self._dispatch_estimate(
+            spec, values, pis, sample_size, population, uniform, confidence
+        )
+        if value_error <= 0.0:
+            return estimate
+        if spec.fn == "sum":
+            if uniform:
+                matched_weight = (
+                    population * pis.shape[0] / sample_size if sample_size else 0.0
+                )
+            else:
+                matched_weight = float((1.0 / pis).sum()) if pis.shape[0] else 0.0
+        else:
+            matched_weight = 0.0
+        return replace(
+            estimate,
+            value_error=propagated_value_error(
+                spec.fn, value_error, matched_weight, estimate.value
+            ),
+        )
+
+    def _dispatch_estimate(
+        self,
+        spec: AggregateSpec,
+        values: Optional[np.ndarray],
+        pis: np.ndarray,
+        sample_size: int,
+        population: int,
+        uniform: bool,
+        confidence: float,
+    ) -> Estimate:
         if spec.fn == "count":
             if uniform:
                 return srs_count(
@@ -312,6 +351,11 @@ class ImpressionEstimator:
         estimates: Dict[str, Estimate] = {}
         for spec in query.aggregates:
             values = working[spec.column] if spec.column is not None else None
+            delta = (
+                working.column(spec.column).max_value_error()
+                if spec.column is not None
+                else 0.0
+            )
             estimates[spec.output_name] = self._one_estimate(
                 spec,
                 np.asarray(values, dtype=float) if values is not None else None,
@@ -320,6 +364,7 @@ class ImpressionEstimator:
                 population,
                 uniform,
                 confidence,
+                value_error=delta,
             )
         return EstimatedResult(
             query=query,
@@ -351,6 +396,11 @@ class ImpressionEstimator:
                 if spec.column is not None
                 else None
             )
+            delta = (
+                working.column(spec.column).max_value_error()
+                if spec.column is not None
+                else 0.0
+            )
             per_group: List[Estimate] = []
             for g in range(n_groups):
                 mask = codes == g
@@ -363,6 +413,7 @@ class ImpressionEstimator:
                         population,
                         uniform,
                         confidence,
+                        value_error=delta,
                     )
                 )
             group_estimates[spec.output_name] = per_group

@@ -56,6 +56,7 @@ from repro.columnstore.query import Query
 from repro.core.bounded import BoundedResult
 from repro.core.contracts import Contract
 from repro.core.engine import SciBorq
+from repro.core.governor import MemoryGovernor, governor_from_env
 from repro.core.handle import QueryHandle
 from repro.core.maintenance import RefreshReport
 from repro.core.scheduler import SharedScanScheduler
@@ -98,6 +99,18 @@ class SciBorqServer:
         (and stays the caller's to close).  Workers spawn lazily on
         the first eligible scan; shutdown drains in-flight sub-plans
         and restores whatever pool the engine carried before.
+    memory_budget:
+        RAM-footprint governance (default off).  An ``int`` installs a
+        :class:`~repro.core.governor.MemoryGovernor` with that byte
+        budget; a ready governor is installed as-is; ``None`` consults
+        the ``SCIBORQ_MEMORY_BUDGET`` environment variable (bytes, or
+        with a ``k``/``m``/``g`` suffix).  The governor demotes
+        least-recently-scanned column blocks hot→warm→cold after
+        ingests and query completions, keeping tables + impressions +
+        recycler inside the budget; estimates over demoted blocks
+        carry the quantisation bound in their CIs, and exact contracts
+        force-promote before scanning.  Shutdown restores whatever
+        governor the engine carried before.
     """
 
     def __init__(
@@ -107,6 +120,7 @@ class SciBorqServer:
         shared_scans: bool = True,
         batch_window: float = 0.0,
         shard_pool: Union[bool, int, ShardPool, None] = False,
+        memory_budget: Union[int, MemoryGovernor, None] = None,
     ) -> None:
         self.engine = engine
         if max_workers is None:
@@ -145,6 +159,21 @@ class SciBorqServer:
             # the one startup log of the chosen topology
             logging.getLogger("repro.shards").info(
                 "shard topology: %s", self.shard_pool.describe_topology()
+            )
+        self._previous_governor = engine.memory_governor
+        self.memory_governor: Optional[MemoryGovernor] = None
+        if isinstance(memory_budget, MemoryGovernor):
+            self.memory_governor = memory_budget
+        elif memory_budget is not None:
+            self.memory_governor = MemoryGovernor(int(memory_budget))
+        else:
+            self.memory_governor = governor_from_env(
+                os.environ.get("SCIBORQ_MEMORY_BUDGET")
+            )
+        if self.memory_governor is not None:
+            engine.set_memory_governor(self.memory_governor)
+            logging.getLogger("repro.memory").info(
+                "memory budget: %d bytes", self.memory_governor.budget_bytes
             )
         self._rwlock = ReadWriteLock()
         self._pool = ThreadPoolExecutor(
@@ -245,6 +274,7 @@ class SciBorqServer:
         session._record(query, outcome)
         with self._admin_lock:
             self._queries_served += 1
+        self._govern_memory()
         return outcome
 
     # ------------------------------------------------------------------
@@ -318,6 +348,7 @@ class SciBorqServer:
         session._record(query, outcome)
         with self._admin_lock:
             self._queries_served += 1
+        self._govern_memory()
 
     def execute_many(
         self,
@@ -439,7 +470,21 @@ class SciBorqServer:
         session.query_log.record(query)
         with self._admin_lock:
             self._queries_served += 1
+        self._govern_memory()
         return result
+
+    def _govern_memory(self) -> None:
+        """Post-query governor pass, exclusive so scans never race it.
+
+        Demotion swaps a column from its contiguous buffer to per-block
+        storage; taking the write lock waits for in-flight readers to
+        drain first.  Cheap when under budget (one footprint sum) and
+        skipped entirely without a governor.
+        """
+        if self.memory_governor is None or self._closed:
+            return
+        with self._rwlock.write_locked():
+            self.engine.enforce_memory()
 
     # ------------------------------------------------------------------
     # lifecycle + introspection
@@ -484,6 +529,11 @@ class SciBorqServer:
             self.engine.set_shard_pool(self._previous_shard_pool)
         if self.shard_pool is not None and self._owns_shard_pool:
             self.shard_pool.close()
+        if (
+            self.memory_governor is not None
+            and self.engine.memory_governor is self.memory_governor
+        ):
+            self.engine.set_memory_governor(self._previous_governor)
 
     def summary(self) -> str:
         """Server state overview for examples and debugging."""
@@ -502,6 +552,21 @@ class SciBorqServer:
             lines.append(f"  {self.scheduler.stats.describe()}")
         if self.shard_pool is not None:
             lines.append(f"  {self.shard_pool.stats.describe()}")
+        report = self.engine.memory_report()
+        tiers = report["tiers"]
+        lines.append(
+            f"  memory: {report['ram_total']} B RAM (hot {tiers['hot']}, "
+            f"warm {tiers['warm']}, impressions "
+            f"{report['impressions_bytes']}, recycler "
+            f"{report['recycler_bytes']}); cold spill {report['cold_bytes']} B"
+        )
+        if self.memory_governor is not None:
+            stats = self.memory_governor.stats
+            lines.append(
+                f"  governor: budget {self.memory_governor.budget_bytes} B, "
+                f"demotions warm/cold {stats.demotions_warm}/"
+                f"{stats.demotions_cold}, promotions {stats.promotions}"
+            )
         return "\n".join(lines)
 
     def __enter__(self) -> "SciBorqServer":

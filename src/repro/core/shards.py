@@ -218,6 +218,14 @@ class TableExport:
                 f"table {table.name!r} has no common block grid; "
                 f"cannot export shards"
             )
+        if not table.is_fully_hot:
+            # a warm block would export *dequantised* bytes as if they
+            # were raw — never ship wrong bytes; the pool declines
+            # (falls back in-process) or the governor promotes first
+            raise ValueError(
+                f"table {table.name!r} holds demoted blocks; "
+                f"promote before exporting shards"
+            )
         self.table_name = table.name
         self.version = table.version
         self._segments: List[shared_memory.SharedMemory] = []
@@ -685,12 +693,22 @@ class ShardPool:
     # eligibility + lifecycle
     # ------------------------------------------------------------------
     def _shardable(self, table: Table) -> bool:
-        """Structural eligibility shared by both export paths."""
+        """Structural eligibility shared by both export paths.
+
+        Tables holding demoted (warm/cold) blocks are declined: an
+        export must snapshot raw bytes, and a cached export taken
+        while hot would silently diverge from the now-dequantised
+        in-process reads.  The scan falls back in-process — identical
+        answers, value-error accounting intact — and the table becomes
+        shardable again once the governor promotes it back.
+        """
         if self.n_shards < 2:
             return False
         if table.block_size is None or table.num_rows < self.min_rows:
             return False
-        return table.num_blocks >= 2
+        if table.num_blocks < 2:
+            return False
+        return table.is_fully_hot
 
     def _is_registered(self, table: Table) -> bool:
         """Whether ``table`` is the catalog's own base table.

@@ -54,6 +54,14 @@ class Estimate:
     divided by the absolute point estimate — the quantity a SciBORQ
     quality contract bounds ("accept only a specific upper limit on
     the error", paper §3.2).
+
+    ``value_error`` is a *deterministic* worst-case bias bound on the
+    point value, distinct from the sampling error ``se`` captures: it
+    is how far the value could be off because the scan read
+    error-bounded (quantised) blocks instead of raw bytes.  It widens
+    ``half_width`` additively, so CIs, ``relative_error``, and
+    contract checks all absorb it with no further plumbing; at 0.0
+    (every touched block hot) everything collapses to today's widths.
     """
 
     value: float
@@ -62,6 +70,7 @@ class Estimate:
     method: str
     sample_size: int
     population_size: int | None = None
+    value_error: float = 0.0
 
     @property
     def z(self) -> float:
@@ -70,8 +79,8 @@ class Estimate:
 
     @property
     def half_width(self) -> float:
-        """Half the confidence-interval width."""
-        return self.z * self.se
+        """Half the interval width: sampling term plus value-error bound."""
+        return self.z * self.se + self.value_error
 
     @property
     def ci(self) -> tuple[float, float]:
@@ -96,6 +105,45 @@ class Estimate:
             f"{self.value:.6g} ± {self.half_width:.3g} "
             f"[{low:.6g}, {high:.6g}] @{self.confidence:.0%} ({self.method})"
         )
+
+
+def propagated_value_error(
+    fn: str,
+    delta: float,
+    matched_weight: float,
+    point: float = 0.0,
+) -> float:
+    """Worst-case drift of aggregate ``fn`` under per-value error ``delta``.
+
+    ``delta`` is the max pointwise |read − raw| bound of the scanned
+    values (0 when every touched block was hot); ``matched_weight`` is
+    the estimated number of base rows the aggregate sums over (``N̂``
+    for HT/SRS sums, the matched count for exact sums).  Per aggregate:
+
+    * ``count`` → 0 — counts read no values.  (Predicate decisions
+      over quantised values can flip near boundaries; that effect is
+      bounded separately by the scan contract, not here.)
+    * ``sum`` → ``delta · matched_weight`` — each contributing value
+      drifts by at most delta, scaled by its weight.
+    * ``avg`` → ``delta`` — a weighted mean of values each off by at
+      most delta is off by at most delta.
+    * ``min``/``max`` → ``delta`` — the extreme of perturbed values.
+    * ``std`` → ``delta`` first-order (each |xᵢ−x̄| shifts ≤ delta);
+      ``var`` → ``2·|σ|·delta + delta²`` (perturbing the std bound
+      through the square, ``point`` being the variance estimate).
+    """
+    if delta <= 0.0:
+        return 0.0
+    if fn == "count":
+        return 0.0
+    if fn == "sum":
+        return delta * max(matched_weight, 0.0)
+    if fn in ("avg", "min", "max", "std"):
+        return delta
+    if fn == "var":
+        sigma = math.sqrt(max(point, 0.0))
+        return 2.0 * sigma * delta + delta * delta
+    return delta  # unknown aggregate: at least the pointwise bound
 
 
 def _fpc(sample_size: int, population_size: int | None) -> float:

@@ -11,6 +11,14 @@ delta method (first-order Taylor propagation), assuming independence
 between the inputs — which holds for estimates computed from
 *different* impressions or disjoint predicates, and is the standard
 conservative default otherwise.
+
+The inputs' ``value_error`` bounds (deterministic worst-case drift
+from reading error-bounded compressed blocks) propagate alongside the
+sampling SEs, but as *interval arithmetic* rather than in quadrature:
+a bias bound is not a variance, so worst cases add.  Every combinator
+is exact-at-zero — inputs with ``value_error == 0`` produce outputs
+with ``value_error == 0`` and today's CI widths — and monotone
+non-decreasing in each input bound (property-tested).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ def _common_confidence(a: Estimate, b: Estimate) -> float:
 
 
 def scale(estimate: Estimate, factor: float, method: str | None = None) -> Estimate:
-    """``factor · X``: the SE scales by |factor|."""
+    """``factor · X``: the SE — and the value-error bound — scale by |factor|."""
     return Estimate(
         value=factor * estimate.value,
         se=abs(factor) * estimate.se,
@@ -39,11 +47,12 @@ def scale(estimate: Estimate, factor: float, method: str | None = None) -> Estim
         method=method or f"scaled({estimate.method})",
         sample_size=estimate.sample_size,
         population_size=estimate.population_size,
+        value_error=abs(factor) * estimate.value_error,
     )
 
 
 def add(a: Estimate, b: Estimate) -> Estimate:
-    """``X + Y`` for independent X, Y: variances add."""
+    """``X + Y`` for independent X, Y: variances add; bias bounds add."""
     return Estimate(
         value=a.value + b.value,
         se=math.hypot(a.se, b.se),
@@ -51,12 +60,14 @@ def add(a: Estimate, b: Estimate) -> Estimate:
         method=f"sum({a.method},{b.method})",
         sample_size=min(a.sample_size, b.sample_size),
         population_size=a.population_size,
+        value_error=a.value_error + b.value_error,
     )
 
 
 def subtract(a: Estimate, b: Estimate) -> Estimate:
     """``X − Y`` for independent X, Y — e.g. the contrast between two
-    sky regions' mean magnitudes."""
+    sky regions' mean magnitudes.  Bias bounds still *add*: worst
+    cases of a difference are the sum of the worst cases."""
     return Estimate(
         value=a.value - b.value,
         se=math.hypot(a.se, b.se),
@@ -64,13 +75,15 @@ def subtract(a: Estimate, b: Estimate) -> Estimate:
         method=f"difference({a.method},{b.method})",
         sample_size=min(a.sample_size, b.sample_size),
         population_size=a.population_size,
+        value_error=a.value_error + b.value_error,
     )
 
 
 def multiply(a: Estimate, b: Estimate) -> Estimate:
     """``X · Y`` for independent X, Y (delta method):
 
-    ``se² ≈ (Y·se_X)² + (X·se_Y)²``.
+    ``se² ≈ (Y·se_X)² + (X·se_Y)²``; the bias bound is the exact
+    interval product ``|a|·e_b + |b|·e_a + e_a·e_b``.
     """
     se = math.hypot(b.value * a.se, a.value * b.se)
     return Estimate(
@@ -80,6 +93,11 @@ def multiply(a: Estimate, b: Estimate) -> Estimate:
         method=f"product({a.method},{b.method})",
         sample_size=min(a.sample_size, b.sample_size),
         population_size=a.population_size,
+        value_error=(
+            abs(a.value) * b.value_error
+            + abs(b.value) * a.value_error
+            + a.value_error * b.value_error
+        ),
     )
 
 
@@ -89,7 +107,9 @@ def ratio(numerator: Estimate, denominator: Estimate) -> Estimate:
 
     ``se²/R² ≈ (se_X/X)² + (se_Y/Y)²``.
 
-    Degrades gracefully near Y = 0 by reporting an infinite SE.
+    Degrades gracefully near Y = 0 by reporting an infinite SE.  The
+    bias bound is first-order: ``(e_X + |R|·e_Y) / |Y|`` (infinite if
+    the denominator's bound reaches zero).
     """
     confidence = _common_confidence(numerator, denominator)
     if denominator.value == 0.0:
@@ -100,6 +120,9 @@ def ratio(numerator: Estimate, denominator: Estimate) -> Estimate:
             method=f"ratio({numerator.method},{denominator.method})",
             sample_size=min(numerator.sample_size, denominator.sample_size),
             population_size=numerator.population_size,
+            value_error=math.inf
+            if (numerator.value_error or denominator.value_error)
+            else 0.0,
         )
     value = numerator.value / denominator.value
     rel_num = numerator.se / abs(numerator.value) if numerator.value else 0.0
@@ -108,6 +131,12 @@ def ratio(numerator: Estimate, denominator: Estimate) -> Estimate:
         se = numerator.se / abs(denominator.value)
     else:
         se = abs(value) * math.hypot(rel_num, rel_den)
+    if denominator.value_error >= abs(denominator.value):
+        value_error = math.inf if (numerator.value_error or denominator.value_error) else 0.0
+    else:
+        value_error = (
+            numerator.value_error + abs(value) * denominator.value_error
+        ) / (abs(denominator.value) - denominator.value_error)
     return Estimate(
         value=value,
         se=se,
@@ -115,6 +144,7 @@ def ratio(numerator: Estimate, denominator: Estimate) -> Estimate:
         method=f"ratio({numerator.method},{denominator.method})",
         sample_size=min(numerator.sample_size, denominator.sample_size),
         population_size=numerator.population_size,
+        value_error=value_error,
     )
 
 
@@ -133,4 +163,5 @@ def selectivity(part: Estimate, whole: Estimate) -> Estimate:
         method="selectivity",
         sample_size=estimate.sample_size,
         population_size=estimate.population_size,
+        value_error=estimate.value_error,
     )

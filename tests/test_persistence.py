@@ -134,3 +134,120 @@ class TestBiasedSnapshot:
         np.testing.assert_allclose(
             twin.layer(0).inclusion_probabilities(), pis_before
         )
+
+
+class TestFormatVersion:
+    def test_snapshots_are_written_at_version_2(self, populated, tmp_path):
+        from repro.core.persistence import FORMAT_VERSION
+
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        assert FORMAT_VERSION == 2
+        assert read_snapshot_metadata(path)["format_version"] == 2
+
+    def test_unknown_version_rejected(self, populated, tmp_path):
+        import json
+
+        import numpy as np
+
+        engine, hierarchy = populated
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = dict(archive)
+        metadata = json.loads(arrays["metadata"].tobytes().decode("utf-8"))
+        metadata["format_version"] = 99
+        arrays["metadata"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ImpressionError, match="format 99 is not"):
+            read_snapshot_metadata(path)
+
+
+class TestColumnBlockStore:
+    def test_anonymous_store_round_trips(self):
+        from repro.core.persistence import ColumnBlockStore
+
+        store = ColumnBlockStore()
+        values = np.arange(64, dtype=np.float64)
+        store.put("x#0", values)
+        assert store.contains("x#0") and store.size_bytes == values.nbytes
+        got = store.read("x#0", np.float64, 64)
+        np.testing.assert_array_equal(np.asarray(got), values)
+        store.close()
+
+    def test_keys_are_write_once(self):
+        from repro.core.persistence import ColumnBlockStore
+
+        store = ColumnBlockStore()
+        store.put("k", np.arange(4.0))
+        with pytest.raises(ImpressionError, match="already spilled"):
+            store.put("k", np.arange(4.0))
+
+    def test_named_store_reopens_from_sidecar(self, tmp_path):
+        from repro.core.persistence import ColumnBlockStore
+
+        path = tmp_path / "blocks.bin"
+        store = ColumnBlockStore(path)
+        a = np.arange(32, dtype=np.float64)
+        b = np.arange(16, dtype=np.int64)
+        store.put("col@1#0", a)
+        store.put("col@1#1", b)
+        store.close()
+        assert path.with_name("blocks.bin.blocks.json").exists()
+
+        reopened = ColumnBlockStore(path)
+        assert sorted(reopened.keys) == ["col@1#0", "col@1#1"]
+        np.testing.assert_array_equal(
+            np.asarray(reopened.read("col@1#0", np.float64)), a
+        )
+        np.testing.assert_array_equal(
+            np.asarray(reopened.read("col@1#1", np.int64)), b
+        )
+        reopened.close()
+
+    def test_dtype_mismatch_rejected(self):
+        from repro.core.persistence import ColumnBlockStore
+
+        store = ColumnBlockStore()
+        store.put("k", np.arange(4, dtype=np.float64))
+        with pytest.raises(ImpressionError, match="spilled as"):
+            store.read("k", np.int32, 4)
+
+
+class TestPartiallyColdRoundtrip:
+    def test_restored_hierarchy_over_demoted_table_answers_identically(
+        self, populated, tmp_path
+    ):
+        """Snapshot + demotion must not change an answer: the restored
+        hierarchy over a partially-cold base table produces exactly the
+        estimate the live hierarchy produced before the save."""
+        from repro.columnstore import AggregateSpec, Query
+        from repro.columnstore.expressions import RadialPredicate
+        from repro.core.bounded import BoundedQueryProcessor
+
+        engine, hierarchy = populated
+        query = Query(
+            table="PhotoObjAll",
+            predicate=RadialPredicate("ra", "dec", 150.0, 10.0, 5.0),
+            aggregates=[AggregateSpec("count")],
+        )
+        before = BoundedQueryProcessor(engine.catalog, hierarchy).execute(query)
+        path = save_hierarchy(hierarchy, tmp_path / "snap.npz")
+
+        # demote part of the base table to the cold tier (lossless)
+        base = engine.catalog.table("PhotoObjAll")
+        ra = base.column("ra")
+        for block in range(max(0, ra.num_blocks - 1)):
+            ra.demote(block, "cold")
+
+        twin = build_hierarchy(
+            "PhotoObjAll", UniformPolicy(layer_sizes=(5_000, 500)), rng=999
+        )
+        load_hierarchy(twin, path)
+        after = BoundedQueryProcessor(engine.catalog, twin).execute(query)
+        est_before = before.result.estimates["count(*)"]
+        est_after = after.result.estimates["count(*)"]
+        assert est_after.value == est_before.value
+        assert est_after.se == est_before.se
+        assert est_after.value_error == est_before.value_error == 0.0

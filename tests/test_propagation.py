@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import EstimationError
 from repro.stats.estimators import Estimate
@@ -116,3 +118,108 @@ class TestEndToEndWithEngine:
         b_est, b_exact = region_mean(205.0, 40.0)
         contrast = subtract(a_est, b_est)
         assert contrast.contains(a_exact - b_exact)
+
+
+class TestValueErrorPropagation:
+    """Deterministic value-error bounds ride every combinator.
+
+    Two properties pin the honesty contract of the tiered store
+    (ISSUE: CI widths must be monotone non-decreasing in the injected
+    bound, and collapse to today's widths at bound 0).
+    """
+
+    def est_ve(self, value, se, ve):
+        return Estimate(value, se, 0.95, "test", 100, 1000, value_error=ve)
+
+    def test_zero_bound_collapses_to_todays_widths(self):
+        a, b = est(10.0, 2.0), est(4.0, 1.0)
+        pairs = [
+            (scale(a, 3.0), scale(self.est_ve(10.0, 2.0, 0.0), 3.0)),
+            (add(a, b), add(self.est_ve(10.0, 2.0, 0.0), b)),
+            (multiply(a, b), multiply(a, self.est_ve(4.0, 1.0, 0.0))),
+            (ratio(a, b), ratio(self.est_ve(10.0, 2.0, 0.0), b)),
+        ]
+        for plain, with_zero in pairs:
+            assert with_zero.value_error == 0.0
+            assert with_zero.half_width == plain.half_width
+
+    def test_combinators_propagate_nonzero_bounds(self):
+        a = self.est_ve(10.0, 2.0, 0.5)
+        b = self.est_ve(4.0, 1.0, 0.25)
+        assert scale(a, -3.0).value_error == pytest.approx(1.5)
+        assert add(a, b).value_error == pytest.approx(0.75)
+        assert subtract(a, b).value_error == pytest.approx(0.75)
+        # |a|·ve_b + |b|·ve_a + ve_a·ve_b
+        assert multiply(a, b).value_error == pytest.approx(
+            10.0 * 0.25 + 4.0 * 0.5 + 0.5 * 0.25
+        )
+        out = ratio(a, b)
+        expected = (0.5 + 2.5 * 0.25) / (4.0 - 0.25)
+        assert out.value_error == pytest.approx(expected)
+
+    def test_ratio_bound_swallowing_denominator_is_infinite(self):
+        out = ratio(self.est_ve(10.0, 2.0, 0.5), self.est_ve(1.0, 0.1, 1.0))
+        assert out.value_error == math.inf
+
+
+@st.composite
+def bound_pairs(draw):
+    """Two bounds with lo <= hi, plus base estimate ingredients."""
+    lo = draw(st.floats(0.0, 10.0, allow_nan=False))
+    hi = draw(st.floats(0.0, 10.0, allow_nan=False))
+    value = draw(st.floats(-100.0, 100.0, allow_nan=False))
+    se = draw(st.floats(0.0, 10.0, allow_nan=False))
+    return min(lo, hi), max(lo, hi), value, se
+
+
+class TestMonotoneWidths:
+    """hypothesis: widening the injected bound never narrows a CI."""
+
+    @given(bound_pairs(), bound_pairs())
+    @settings(max_examples=200, deadline=None)
+    def test_widths_monotone_in_value_error(self, pa, pb):
+        lo_a, hi_a, value_a, se_a = pa
+        lo_b, hi_b, value_b, se_b = pb
+        narrow_a = Estimate(value_a, se_a, 0.95, "t", 100, 1000, value_error=lo_a)
+        wide_a = Estimate(value_a, se_a, 0.95, "t", 100, 1000, value_error=hi_a)
+        narrow_b = Estimate(value_b, se_b, 0.95, "t", 100, 1000, value_error=lo_b)
+        wide_b = Estimate(value_b, se_b, 0.95, "t", 100, 1000, value_error=hi_b)
+        assert wide_a.half_width >= narrow_a.half_width
+
+        combinators = [
+            lambda x, y: scale(x, 2.5),
+            add,
+            subtract,
+            multiply,
+        ]
+        for combine in combinators:
+            narrow = combine(narrow_a, narrow_b)
+            wide = combine(wide_a, wide_b)
+            assert wide.value_error >= narrow.value_error
+            assert wide.half_width >= narrow.half_width
+
+    @given(bound_pairs(), bound_pairs())
+    @settings(max_examples=200, deadline=None)
+    def test_ratio_width_monotone_in_value_error(self, pa, pb):
+        lo_a, hi_a, value_a, se_a = pa
+        lo_b, hi_b, _, se_b = pb
+        den_value = 50.0  # fixed away from zero; zero cases are inf anyway
+        narrow = ratio(
+            Estimate(value_a, se_a, 0.95, "t", 100, 1000, value_error=lo_a),
+            Estimate(den_value, se_b, 0.95, "t", 100, 1000, value_error=lo_b),
+        )
+        wide = ratio(
+            Estimate(value_a, se_a, 0.95, "t", 100, 1000, value_error=hi_a),
+            Estimate(den_value, se_b, 0.95, "t", 100, 1000, value_error=hi_b),
+        )
+        assert wide.value_error >= narrow.value_error
+
+    @given(st.floats(0.0, 5.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_at_zero_for_every_combinator(self, se):
+        a = Estimate(10.0, se, 0.95, "t", 100, 1000)
+        b = Estimate(4.0, se, 0.95, "t", 100, 1000)
+        for out in (scale(a, 2.0), add(a, b), subtract(a, b),
+                    multiply(a, b), ratio(a, b), selectivity(a, b)):
+            assert out.value_error == 0.0
+            assert out.half_width == out.z * out.se

@@ -89,3 +89,22 @@ class TestEviction:
         recycler.store(table, predicate, np.array([0]))
         recycler.lookup(table, predicate)
         assert recycler.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestOversizeRejection:
+    def test_oversize_entry_is_counted_not_silently_dropped(self, table):
+        recycler = Recycler(capacity_bytes=64)
+        predicate = Between("x", 0, 99)
+        oversize = np.arange(100)  # 800 bytes > 64-byte budget
+        recycler.store(table, predicate, oversize)
+        # regression: the drop used to be invisible in the stats
+        assert recycler.stats.rejected == 1
+        assert recycler.stats.stored == 0
+        assert len(recycler) == 0 and recycler.size_bytes == 0
+        assert recycler.lookup(table, predicate) is None
+
+    def test_fitting_entries_are_never_rejected(self, table):
+        recycler = Recycler(capacity_bytes=1024)
+        recycler.store(table, Between("x", 0, 5), np.arange(6))
+        assert recycler.stats.rejected == 0
+        assert recycler.stats.stored == 1

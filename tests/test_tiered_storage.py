@@ -1,0 +1,568 @@
+"""Tests for tiered block storage and the memory governor.
+
+The contract under test (ROADMAP "Error-bounded compressed column
+blocks"): a column's blocks may live hot (raw ndarray), warm
+(error-bounded int8/int16 quantisation), or cold (mmap-backed raw
+spill) — and the engine stays *honest* about it.  All-hot answers are
+byte-identical to the pre-tiering engine; answers touching warm blocks
+carry the recorded pointwise bound in ``Estimate.value_error``; exact
+contracts force-promote so their answers are byte-identical again; and
+zone-map pruning (zones fold from raw values before any demotion)
+makes identical decisions at every tier without decompressing pruned
+blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnstore import AggregateSpec, Catalog, Query, Table
+from repro.columnstore import operators
+from repro.columnstore.column import Column
+from repro.columnstore.expressions import Between
+from repro.core.contracts import Contract
+from repro.core.engine import SciBorq
+from repro.core.governor import (
+    PROMOTE_HEADROOM,
+    MemoryGovernor,
+    governor_from_env,
+)
+from repro.core.persistence import ColumnBlockStore
+from repro.core.server import SciBorqServer
+from repro.core.shards import TableExport
+from repro.errors import SchemaError
+
+BS = 64  # block size used throughout: small enough for many blocks
+
+
+def float_column(n: int = 4 * BS + 10, seed: int = 11) -> Column:
+    rng = np.random.default_rng(seed)
+    return Column("x", "float64", rng.uniform(-50.0, 150.0, n), block_size=BS)
+
+
+def tiered_table(n: int = 6 * BS, seed: int = 3) -> Table:
+    """A table whose x is sorted, so zones are tight and prunable."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 600.0, n))
+    y = rng.normal(10.0, 2.0, n)
+    return Table(
+        "fact",
+        [
+            Column("id", "int64", np.arange(n), block_size=BS),
+            Column("x", "float64", x, block_size=BS),
+            Column("y", "float64", y, block_size=BS),
+        ],
+    )
+
+
+def tiered_engine(n: int = 6 * BS, seed: int = 3) -> SciBorq:
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "fact",
+            [
+                Column("id", "int64", block_size=BS),
+                Column("x", "float64", block_size=BS),
+                Column("y", "float64", block_size=BS),
+            ],
+        )
+    )
+    engine = SciBorq(
+        catalog, interest_attributes={"x": (0.0, 600.0)}, rng=17
+    )
+    engine.create_hierarchy("fact", policy="uniform", layer_sizes=(64,))
+    source = tiered_table(n, seed)
+    engine.loader.load_batch(
+        "fact",
+        {name: source.column(name).values for name in ("id", "x", "y")},
+    )
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Column: demote / promote mechanics
+# ----------------------------------------------------------------------
+class TestDemotePromote:
+    def test_warm_block_dequantises_within_recorded_bound(self):
+        col = float_column()
+        original = col.values.copy()
+        assert col.demote(0, "warm")
+        assert col.tier_of(0) == "warm"
+        bound = col.block_value_error(0)
+        span = original[:BS].max() - original[:BS].min()
+        assert 0.0 < bound <= span / 255 / 2 + 1e-9
+        got = col.read_range(0, BS)
+        assert np.abs(got - original[:BS]).max() <= bound
+
+    def test_16_bit_warm_is_tighter_than_8_bit(self):
+        a, b = float_column(seed=5), float_column(seed=5)
+        a.demote(0, "warm", bits=8)
+        b.demote(0, "warm", bits=16)
+        assert 0.0 < b.block_value_error(0) < a.block_value_error(0)
+
+    def test_cold_block_reads_byte_identical(self):
+        col = float_column()
+        original = col.values.copy()
+        assert col.demote(1, "cold")
+        assert col.tier_of(1) == "cold"
+        assert col.block_value_error(1) == 0.0
+        np.testing.assert_array_equal(col.read_range(BS, 2 * BS), original[BS : 2 * BS])
+
+    def test_promotion_restores_exact_bytes_after_any_chain(self):
+        col = float_column()
+        original = col.values.copy()
+        col.demote(0, "warm")
+        col.demote(0, "cold")  # warm → cold uses the spilled raw bytes
+        col.demote(1, "cold")
+        col.demote(2, "warm")
+        assert col.promote_all() == 3
+        assert col.is_fully_hot
+        np.testing.assert_array_equal(col.values, original)
+
+    def test_partial_tail_block_never_demotes(self):
+        col = float_column(n=2 * BS + 7)
+        assert not col.demote(2, "warm")
+        assert not col.demote(2, "cold")
+        assert col.tier_of(2) == "hot"
+
+    def test_demote_is_idempotent_and_promote_reports_change(self):
+        col = float_column()
+        assert col.demote(0, "warm")
+        assert not col.demote(0, "warm")  # already there
+        assert col.promote(0)
+        assert not col.promote(0)  # already hot
+        assert col.demote(0, "warm")  # demotable again after promotion
+
+    def test_unquantisable_blocks_fall_through_to_cold(self):
+        ints = Column("id", "int64", np.arange(3 * BS), block_size=BS)
+        hidden = Column(
+            "_pi", "float64", np.full(3 * BS, 0.25), block_size=BS
+        )
+        nans = Column("x", "float64", np.arange(3.0 * BS), block_size=BS)
+        with_nan = nans.values.copy()
+        # cannot mutate a sealed column's values in place; rebuild
+        with_nan[5] = np.nan
+        nans = Column("x", "float64", with_nan, block_size=BS)
+        for col in (ints, hidden, nans):
+            assert col.demote(0, "warm")
+            assert col.tier_of(0) == "cold"  # lossless fallback
+            assert col.block_value_error(0) == 0.0
+        assert not ints.quantisable and not hidden.quantisable
+
+    def test_constant_block_quantises_with_zero_error(self):
+        col = Column("x", "float64", np.full(2 * BS, 7.5), block_size=BS)
+        assert col.demote(0, "warm")
+        assert col.tier_of(0) == "warm"
+        assert col.block_value_error(0) == 0.0
+        np.testing.assert_array_equal(col.read_range(0, BS), np.full(BS, 7.5))
+
+    def test_appends_keep_working_after_demotion(self):
+        col = float_column(n=2 * BS)
+        original = col.values.copy()
+        col.demote(0, "warm")
+        col.extend(np.arange(float(BS + 3)))
+        assert len(col) == 3 * BS + 3
+        col.promote_all()
+        np.testing.assert_array_equal(col.values[: 2 * BS], original)
+        np.testing.assert_array_equal(
+            col.values[2 * BS :], np.arange(float(BS + 3))
+        )
+
+    def test_gather_reports_touched_block_error_only(self):
+        col = float_column()
+        original = col.values.copy()
+        col.demote(0, "warm")
+        bound = col.block_value_error(0)
+        # indices entirely inside hot blocks: exact, zero error
+        hot_idx = np.arange(BS, 2 * BS)
+        got, err = col.gather_with_error(hot_idx)
+        assert err == 0.0
+        np.testing.assert_array_equal(got, original[hot_idx])
+        # indices touching the warm block: its bound is reported
+        mixed_idx = np.array([0, 5, BS + 1])
+        got, err = col.gather_with_error(mixed_idx)
+        assert err == bound
+        assert np.abs(got - original[mixed_idx]).max() <= bound
+
+    def test_take_and_filter_carry_value_error_floor(self):
+        col = float_column()
+        col.demote(0, "warm")
+        bound = col.block_value_error(0)
+        taken = col.take(np.array([1, 2, 3]))
+        assert taken.max_value_error() == bound
+        kept = col.filter(np.arange(len(col)) < 10)
+        assert kept.max_value_error() == bound
+
+    def test_attach_spill_conflicts_are_rejected(self):
+        col = float_column()
+        store = ColumnBlockStore()
+        col.attach_spill(store)
+        col.attach_spill(store)  # same store: fine
+        col.demote(0, "cold")
+        with pytest.raises(SchemaError, match="another store"):
+            col.attach_spill(ColumnBlockStore())
+
+
+class TestFootprint:
+    def test_warm_tier_shrinks_block_at_least_4x(self):
+        col = float_column(n=4 * BS)
+        hot = col.nbytes()
+        for block in range(4):
+            assert col.demote(block, "warm")
+        assert col.nbytes() * 4 <= hot  # float64 → int8 is 8×
+        tiers = col.nbytes_by_tier()
+        assert tiers["hot"] == 0 and tiers["warm"] > 0
+        assert tiers["cold"] == 0
+
+    def test_cold_tier_frees_all_ram_and_reports_spill(self):
+        col = float_column(n=2 * BS)
+        for block in range(2):
+            col.demote(block, "cold")
+        assert col.nbytes() == 0
+        assert col.nbytes_by_tier()["cold"] == 2 * BS * 8
+
+    def test_table_aggregates_per_tier(self):
+        table = tiered_table()
+        assert table.is_fully_hot
+        table.column("x").demote(0, "warm")
+        table.column("y").demote(0, "cold")
+        assert not table.is_fully_hot
+        tiers = table.nbytes_by_tier()
+        assert tiers["warm"] > 0 and tiers["cold"] > 0
+        assert table.max_value_error() == table.column("x").block_value_error(0)
+        table.promote_all()
+        assert table.is_fully_hot and table.max_value_error() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Scans: pruning identical across tiers, decompressions charged honestly
+# ----------------------------------------------------------------------
+class TestTieredScans:
+    def test_pruning_decisions_identical_across_tiers(self):
+        hot = tiered_table()
+        demoted = tiered_table()
+        predicate = Between("x", 150.0, 250.0)
+        plan_hot = operators.scan_plan(hot, predicate)
+        for block in range(demoted.num_blocks - 1):
+            demoted.column("x").demote(block, "warm")
+            demoted.column("y").demote(block, "cold")
+        assert operators.scan_plan(demoted, predicate) == plan_hot
+        assert plan_hot[3] > 0  # the predicate actually prunes something
+
+    def test_pruned_blocks_are_never_decompressed(self):
+        table = tiered_table()
+        x = table.column("x")
+        for block in range(table.num_blocks - 1):
+            x.demote(block, "warm")
+        predicate = Between("x", 150.0, 250.0)
+        runs, _, blocks_scanned, blocks_pruned = operators.scan_plan(
+            table, predicate
+        )
+        assert blocks_pruned > 0
+        before = x.decompressions
+        indices, stats = operators.select(table, predicate)
+        assert stats.blocks_pruned == blocks_pruned
+        # only surviving blocks paid a decompression
+        assert x.decompressions - before <= blocks_scanned
+
+    def test_selection_indices_match_hot_within_bound(self):
+        hot = tiered_table()
+        warm = tiered_table()
+        for block in range(warm.num_blocks - 1):
+            warm.column("x").demote(block, "warm")
+        bound = warm.column("x").max_value_error()
+        # a predicate whose edges sit far from any quantisation cell
+        predicate = Between("x", 150.0 - 2 * bound, 250.0 + 2 * bound)
+        hot_idx, _ = operators.select(hot, predicate)
+        inner = Between("x", 150.0 + 2 * bound, 250.0 - 2 * bound)
+        inner_idx, _ = operators.select(warm, inner)
+        assert set(inner_idx).issubset(set(hot_idx))
+
+    def test_all_hot_scan_pays_zero_decompressions(self):
+        table = tiered_table()
+        indices, _ = operators.select(table, Between("x", 100.0, 300.0))
+        assert table.column("x").decompressions == 0
+        assert indices.size > 0
+
+
+# ----------------------------------------------------------------------
+# Contract-honest execution
+# ----------------------------------------------------------------------
+class TestContractHonesty:
+    def cone(self) -> Query:
+        return Query(
+            table="fact",
+            predicate=Between("x", 100.0, 420.0),
+            aggregates=[AggregateSpec("sum", "y"), AggregateSpec("avg", "y")],
+        )
+
+    def test_all_hot_estimates_carry_zero_value_error(self):
+        engine = tiered_engine()
+        outcome = engine.execute(self.cone(), contract=Contract.unconstrained())
+        for estimate in outcome.result.estimates.values():
+            assert estimate.value_error == 0.0
+
+    def test_exact_contract_force_promotes_and_matches_pre_demotion(self):
+        engine = tiered_engine()
+        exact_before = engine.execute(self.cone(), contract=Contract.exact())
+        table = engine.catalog.table("fact")
+        for name in ("x", "y"):
+            for block in range(table.num_blocks - 1):
+                table.column(name).demote(block, "warm")
+        assert not table.is_fully_hot
+        exact_after = engine.execute(self.cone(), contract=Contract.exact())
+        for name, estimate in exact_before.result.estimates.items():
+            after = exact_after.result.estimates[name]
+            assert after.value == estimate.value  # byte-identical
+            assert after.value_error == 0.0
+            assert after.method == "exact"
+        # the touched columns were promoted back to answer exactly
+        assert table.column("x").is_fully_hot
+        assert table.column("y").is_fully_hot
+
+    def test_execute_exact_matches_too(self):
+        engine = tiered_engine()
+        before = engine.execute_exact(self.cone())
+        table = engine.catalog.table("fact")
+        for block in range(table.num_blocks - 1):
+            table.column("y").demote(block, "warm")
+        after = engine.execute_exact(self.cone())
+        assert after.scalars == before.scalars
+
+    def test_warm_blocks_widen_estimates_honestly(self):
+        engine = tiered_engine()
+        exact = engine.execute_exact(self.cone()).scalars
+        table = engine.catalog.table("fact")
+        for block in range(table.num_blocks - 1):
+            table.column("y").demote(block, "warm")
+        delta = table.column("y").max_value_error()
+        assert delta > 0.0
+        outcome = engine.execute(self.cone(), contract=Contract.unconstrained())
+        estimates = outcome.result.estimates
+        for name in ("sum(y)", "avg(y)"):
+            estimate = estimates[name]
+            assert estimate.value_error > 0.0
+            # the declared bound rides the CI: achieved error within
+            # half-width at the contract's confidence, deterministically
+            # for the bias component
+            assert estimate.half_width >= estimate.value_error
+        assert abs(estimates["avg(y)"].value - exact["avg(y)"]) <= (
+            estimates["avg(y)"].half_width
+        )
+
+
+# ----------------------------------------------------------------------
+# MemoryGovernor
+# ----------------------------------------------------------------------
+class TestGovernor:
+    def test_enforce_demotes_until_under_budget(self):
+        engine = tiered_engine()
+        report = engine.memory_report()
+        budget = int(report["ram_total"] * 0.4)
+        governor = MemoryGovernor(budget)
+        engine.set_memory_governor(governor)
+        stats = governor.stats
+        assert stats.enforcements >= 1
+        assert stats.demotions_warm + stats.demotions_cold > 0
+        assert stats.last_footprint <= budget
+        after = engine.memory_report()
+        assert after["ram_total"] < report["ram_total"]
+
+    def test_least_recently_scanned_blocks_demote_first(self):
+        engine = tiered_engine()
+        table = engine.catalog.table("fact")
+        # touch the last full block so it is the most recent
+        hot_block = table.num_blocks - 2
+        table.column("x").read_range(hot_block * BS, (hot_block + 1) * BS)
+        budget = int(engine.memory_report()["ram_total"] * 0.7)
+        engine.set_memory_governor(MemoryGovernor(budget))
+        # something demoted, but the recently-scanned block stayed hot
+        assert not table.is_fully_hot
+        assert table.column("x").tier_of(hot_block) == "hot"
+
+    def test_scanned_blocks_promote_back_when_headroom_allows(self):
+        engine = tiered_engine()
+        table = engine.catalog.table("fact")
+        governor = MemoryGovernor(1)  # demote everything demotable
+        engine.set_memory_governor(governor)
+        assert not table.column("y").is_fully_hot
+        assert not table.column("x").is_fully_hot
+        # scan through y's demoted blocks (records the access tick)...
+        table.column("y").read_range(0, table.num_rows)
+        # ...then relax the budget: enforce promotes the scanned
+        # working set, and only it — x was never touched
+        governor.budget_bytes = 64 << 20
+        engine.enforce_memory()
+        assert governor.stats.promotions > 0
+        assert table.column("y").is_fully_hot
+        assert not table.column("x").is_fully_hot
+        assert governor.stats.last_footprint <= (
+            PROMOTE_HEADROOM * governor.budget_bytes
+        )
+
+    def test_hidden_pi_columns_only_ever_go_cold(self):
+        col = Column("_pi", "float64", np.full(2 * BS, 0.5), block_size=BS)
+        table = Table("w", [col])
+        catalog = Catalog()
+        catalog.add_table(table)
+        engine = SciBorq(catalog, interest_attributes={"_pi": (0, 1)}, rng=1)
+        engine.set_memory_governor(MemoryGovernor(1))
+        assert col.block_tiers()["warm"] == 0
+        assert col.block_tiers()["cold"] > 0
+
+    def test_shared_spill_store_is_attached(self, tmp_path):
+        store = ColumnBlockStore(tmp_path / "blocks.bin")
+        engine = tiered_engine()
+        engine.set_memory_governor(MemoryGovernor(1, spill=store))
+        assert store.size_bytes > 0  # raw blocks landed in the shared store
+
+    def test_governor_from_env_parses_suffixes(self):
+        assert governor_from_env(None) is None
+        assert governor_from_env("") is None
+        assert governor_from_env("not-a-size") is None
+        assert governor_from_env("-5") is None
+        assert governor_from_env("1024").budget_bytes == 1024
+        assert governor_from_env("64k").budget_bytes == 64 << 10
+        assert governor_from_env("2M").budget_bytes == 2 << 20
+        assert governor_from_env("1g").budget_bytes == 1 << 30
+
+
+# ----------------------------------------------------------------------
+# Engine + server wiring
+# ----------------------------------------------------------------------
+class TestMemoryReport:
+    def test_report_shape_and_totals(self):
+        engine = tiered_engine()
+        report = engine.memory_report()
+        for key in (
+            "tables",
+            "tiers",
+            "impressions",
+            "impressions_bytes",
+            "recycler_bytes",
+            "ram_total",
+            "cold_bytes",
+        ):
+            assert key in report
+        assert "fact" in report["tables"]
+        tiers = report["tiers"]
+        assert report["ram_total"] == (
+            tiers["hot"]
+            + tiers["warm"]
+            + report["impressions_bytes"]
+            + report["recycler_bytes"]
+        )
+        assert "budget_bytes" not in report  # no governor installed
+
+    def test_report_tracks_demotions_and_governor(self):
+        engine = tiered_engine()
+        hot_bytes = engine.memory_report()["tiers"]["hot"]
+        engine.set_memory_governor(MemoryGovernor(max(1, hot_bytes // 3)))
+        report = engine.memory_report()
+        assert report["tiers"]["warm"] + report["cold_bytes"] > 0
+        assert report["tiers"]["hot"] < hot_bytes
+        assert report["budget_bytes"] == max(1, hot_bytes // 3)
+        assert report["governor"]["enforcements"] >= 1
+
+    def test_summary_mentions_memory(self):
+        engine = tiered_engine()
+        assert "memory:" in engine.summary()
+
+
+class TestServerWiring:
+    def test_budget_param_installs_and_shutdown_restores(self):
+        engine = tiered_engine()
+        ram = engine.memory_report()["ram_total"]
+        with SciBorqServer(
+            engine, max_workers=1, memory_budget=int(ram * 0.5)
+        ) as server:
+            assert engine.memory_governor is server.memory_governor
+            session = server.open_session()
+            server.execute(
+                session,
+                Query(
+                    table="fact",
+                    predicate=Between("x", 100.0, 420.0),
+                    aggregates=[AggregateSpec("sum", "y")],
+                ),
+                contract=Contract.unconstrained(),
+            )
+            assert "governor" in server.summary()
+        assert engine.memory_governor is None  # restored on shutdown
+        assert not engine.catalog.table("fact").is_fully_hot  # governed
+
+    def test_env_budget_is_consulted(self, monkeypatch):
+        monkeypatch.setenv("SCIBORQ_MEMORY_BUDGET", "32m")
+        engine = tiered_engine()
+        with SciBorqServer(engine, max_workers=1) as server:
+            assert server.memory_governor is not None
+            assert server.memory_governor.budget_bytes == 32 << 20
+
+    def test_no_budget_means_no_governor(self, monkeypatch):
+        monkeypatch.delenv("SCIBORQ_MEMORY_BUDGET", raising=False)
+        engine = tiered_engine()
+        with SciBorqServer(engine, max_workers=1) as server:
+            assert server.memory_governor is None
+
+
+class TestShardInterop:
+    def test_export_refuses_demoted_tables(self):
+        table = tiered_table()
+        table.column("x").demote(0, "warm")
+        with pytest.raises(ValueError, match="demoted blocks"):
+            TableExport(table)
+
+    def test_export_works_after_promotion(self):
+        table = tiered_table()
+        table.column("x").demote(0, "warm")
+        table.promote_all()
+        export = TableExport(table)
+        export.close()
+
+
+class TestChunkedReadPaths:
+    def test_getitem_and_to_numpy_on_chunked_columns(self):
+        col = float_column(n=2 * BS + 5)
+        original = col.values.copy()
+        col.demote(0, "cold")
+        assert col[3] == original[3]
+        np.testing.assert_array_equal(col[5:70], original[5:70])
+        np.testing.assert_array_equal(col.to_numpy(), original)
+        mask = np.zeros(len(col), dtype=bool)
+        mask[:4] = True
+        np.testing.assert_array_equal(col[mask], original[:4])
+
+    def test_zones_survive_demotion_exactly(self):
+        col = float_column(n=3 * BS)
+        zones_before = [col.zone(b) for b in range(col.num_blocks)]
+        for block in range(col.num_blocks):
+            col.demote(block, "warm")
+        assert [col.zone(b) for b in range(col.num_blocks)] == zones_before
+
+    def test_read_range_spanning_tiers_is_assembled(self):
+        col = float_column(n=3 * BS + 9)
+        original = col.values.copy()
+        col.demote(0, "warm")
+        col.demote(1, "cold")
+        got = col.read_range(10, 3 * BS + 5)
+        bound = col.block_value_error(0)
+        assert np.abs(got - original[10 : 3 * BS + 5]).max() <= bound
+        # hot blocks and the tail inside the range came back exact
+        np.testing.assert_array_equal(
+            got[2 * BS - 10 :], original[2 * BS : 3 * BS + 5]
+        )
+
+    def test_gather_rejects_boolean_masks(self):
+        col = float_column()
+        col.demote(0, "warm")
+        with pytest.raises(SchemaError):
+            col.gather(np.zeros(len(col), dtype=bool))
+
+    def test_block_report_lists_full_blocks_only(self):
+        col = float_column(n=2 * BS + 5)
+        col.demote(1, "warm")
+        report = col.block_report()
+        assert [entry[0] for entry in report] == [0, 1]
+        tiers = {block: tier for block, tier, _, _ in report}
+        assert tiers == {0: "hot", 1: "warm"}
