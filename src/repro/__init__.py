@@ -60,6 +60,7 @@ from repro.columnstore import (
     TruePredicate,
 )
 from repro.core import (
+    AdmissionController,
     BiasedPolicy,
     BoundedQueryProcessor,
     BoundedResult,
@@ -70,6 +71,7 @@ from repro.core import (
     ProgressUpdate,
     QualityContract,
     QueryHandle,
+    RejectedQuery,
     SciBorq,
     SciBorqServer,
     Session,
@@ -78,6 +80,7 @@ from repro.core import (
 )
 from repro.errors import (
     BudgetExceededError,
+    OverloadedError,
     QualityBoundError,
     SciborqError,
 )
@@ -102,6 +105,7 @@ __all__ = [
     "Recycler",
     "Table",
     "TruePredicate",
+    "AdmissionController",
     "BiasedPolicy",
     "BoundedQueryProcessor",
     "BoundedResult",
@@ -112,12 +116,14 @@ __all__ = [
     "ProgressUpdate",
     "QualityContract",
     "QueryHandle",
+    "RejectedQuery",
     "SciBorq",
     "SciBorqServer",
     "Session",
     "UniformPolicy",
     "build_hierarchy",
     "BudgetExceededError",
+    "OverloadedError",
     "QualityBoundError",
     "SciborqError",
     "Estimate",

@@ -29,8 +29,16 @@
   concurrent multi-session layer: one shared engine behind a
   readers-writer lock, per-user sessions with isolated cost
   accounting and default contracts.
+* :mod:`repro.core.admission` — overload management: bounded intake
+  with priority aging, graceful degradation under pressure, and
+  structured sheds with retry-after advice.
 """
 
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionStats,
+    RejectedQuery,
+)
 from repro.core.impression import Impression
 from repro.core.hierarchy import ImpressionHierarchy
 from repro.core.policy import (
@@ -52,7 +60,7 @@ from repro.core.bounded import (
 from repro.core.engine import SciBorq
 from repro.core.scheduler import SchedulerStats, SharedScanScheduler
 from repro.core.session import Session, SessionStats
-from repro.core.server import SciBorqServer
+from repro.core.server import SciBorqServer, ShutdownReport
 from repro.core.persistence import (
     load_hierarchy,
     read_snapshot_metadata,
@@ -63,6 +71,10 @@ __all__ = [
     "load_hierarchy",
     "read_snapshot_metadata",
     "save_hierarchy",
+    "AdmissionController",
+    "AdmissionStats",
+    "RejectedQuery",
+    "ShutdownReport",
     "Impression",
     "ImpressionHierarchy",
     "UniformPolicy",

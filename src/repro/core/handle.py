@@ -39,7 +39,8 @@ was already met) and no further rung is ever scanned.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -87,15 +88,28 @@ class ProgressUpdate:
     attempt: "ExecutionAttempt"
     #: Best-so-far outcome if execution stopped here.
     partial: Optional["BoundedResult"]
+    #: Wall seconds this query waited before its drain started —
+    #: admission queue plus pool dispatch (None: not server-queued).
+    #: ``spent`` bills execution only, so this is the other half of
+    #: the latency a user actually observes under load.
+    queue_seconds: Optional[float] = None
+    #: Wall seconds of actual drain time when this update was
+    #: produced (None: not server-queued).
+    run_seconds: Optional[float] = None
 
     def describe(self) -> str:
         """One-line trace used by examples and debugging."""
         left = "∞" if self.remaining is None else f"{self.remaining:g}"
+        queued = (
+            ""
+            if self.queue_seconds is None
+            else f" queued={self.queue_seconds:.3g}s"
+        )
         return (
             f"[rung {self.rung}] {self.source}: "
             f"error={self.achieved_error:.4g} "
             f"(best {self.best_error:.4g}) "
-            f"spent={self.spent:g} remaining={left} "
+            f"spent={self.spent:g} remaining={left}{queued} "
             f"{'✓' if self.satisfied else '✗'}"
         )
 
@@ -151,8 +165,15 @@ class QueryHandle:
         self._error: Optional[BaseException] = None
         self._done = threading.Event()
         self._cancel_requested = False
+        self._degraded = False  # True when admission coarsened the contract
         self._driven = False  # True once a worker pool owns the drain
         self._drive_thread: Optional[threading.Thread] = None
+        # queue-vs-run split (wall seconds): stamped by the server at
+        # submission and by drain() at first execution; lazy handles
+        # keep both None and their updates are byte-identical to before
+        self._queued_at: Optional[float] = None
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -172,6 +193,26 @@ class QueryHandle:
         """All progress updates produced so far (oldest first)."""
         with self._state:
             return list(self._updates)
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Wall seconds between submission and the start of the drain.
+
+        The half of user-observed latency that execution budgets never
+        bill: admission-queue wait plus pool dispatch.  ``None`` until
+        the drain starts (or always, for lazy handles nobody queued).
+        """
+        if self._queued_at is None or self._started_at is None:
+            return None
+        return self._started_at - self._queued_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """Wall seconds of drain time so far (final once done)."""
+        if self._started_at is None:
+            return None
+        end = self._finished_at
+        return (end if end is not None else time.monotonic()) - self._started_at
 
     # ------------------------------------------------------------------
     # progress callbacks
@@ -195,6 +236,14 @@ class QueryHandle:
     # driving
     # ------------------------------------------------------------------
     def _publish(self, update: ProgressUpdate) -> None:
+        if self._queued_at is not None and self._started_at is not None:
+            # queue-time vs run-time split: stamped only on handles the
+            # server queued, so lazy handles' updates stay unchanged
+            update = replace(
+                update,
+                queue_seconds=self._started_at - self._queued_at,
+                run_seconds=time.monotonic() - self._started_at,
+            )
         with self._state:
             self._updates.append(update)
             callbacks = list(self._callbacks)
@@ -220,8 +269,14 @@ class QueryHandle:
             return  # first settle wins
         if result is not None and self._finalize is not None:
             result = self._finalize(result)
+        if result is not None and self._degraded:
+            # stamped here, before _done is set, so a caller woken by
+            # result() can never observe an unmarked degraded outcome
+            result.degraded = True
         with self._state:
             self._result = result
+            if self._started_at is not None:
+                self._finished_at = time.monotonic()
             self._done.set()
             self._state.notify_all()
         self._stream.close()
@@ -231,6 +286,8 @@ class QueryHandle:
             return  # first settle wins
         with self._state:
             self._error = error
+            if self._started_at is not None:
+                self._finished_at = time.monotonic()
             self._done.set()
             self._state.notify_all()
 
@@ -291,6 +348,24 @@ class QueryHandle:
         """
         self._driven = True
 
+    def mark_degraded(self) -> None:
+        """Declare that admission coarsened this query's contract.
+
+        The final :class:`~repro.core.bounded.BoundedResult` (natural
+        completion *and* cancellation) will carry ``degraded=True`` —
+        graceful degradation is honest or it is lying.
+        """
+        self._degraded = True
+
+    def mark_queued(self) -> None:
+        """Stamp submission time; starts the queue-time measurement.
+
+        Called by the server when the query enters its intake.  From
+        here until :meth:`drain` starts counts as queue time in every
+        :class:`ProgressUpdate` this handle publishes.
+        """
+        self._queued_at = time.monotonic()
+
     def drain(self) -> None:
         """Run to completion (or cancellation), swallowing nothing.
 
@@ -299,6 +374,8 @@ class QueryHandle:
         pool (a strict-contract miss must not kill the worker).
         """
         self._driven = True
+        if self._started_at is None:
+            self._started_at = time.monotonic()
         self._drive_thread = threading.current_thread()
         try:
             while not self.done:
@@ -368,6 +445,18 @@ class QueryHandle:
         assert self._result is not None
         return self._result
 
+    def request_cancel(self) -> None:
+        """Ask the drain to stop between rungs, without waiting.
+
+        The non-blocking half of :meth:`cancel`: sets the flag and
+        returns immediately — no rung runs on the caller's thread and
+        nothing blocks on the outcome.  The server's timed shutdown
+        uses this on stragglers a wedged drain may never settle.
+        """
+        with self._state:
+            self._cancel_requested = True
+            self._state.notify_all()
+
     def cancel(self) -> "BoundedResult":
         """Stop between rungs; keep the best answer obtained so far.
 
@@ -377,9 +466,7 @@ class QueryHandle:
         far); a handle that already completed returns its result
         unchanged.  Idempotent.
         """
-        with self._state:
-            self._cancel_requested = True
-            self._state.notify_all()
+        self.request_cancel()
         if not self._driven:
             self._finish_cancelled()
         elif threading.current_thread() is self._drive_thread:

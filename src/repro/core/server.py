@@ -40,6 +40,16 @@ serving layer for the reproduction:
   Python half of scan cost.  Non-foldable work, unsharded tables, and
   dead workers fall back to in-process execution — a worker crash
   degrades, never errors.
+* **Bounded intake.**  With ``admission=`` the server installs an
+  :class:`~repro.core.admission.AdmissionController`: submissions
+  beyond the in-flight width wait in a bounded, priority-aged queue
+  (popular-region convoys dispatch first, starved queries
+  monotonically gain ground), pressure past the degrade threshold
+  answers under a coarsened contract marked ``degraded=True``, and a
+  full queue sheds *structurally* — an
+  :class:`~repro.errors.OverloadedError` carrying a
+  :class:`~repro.core.admission.RejectedQuery` with retry-after
+  advice, never an unbounded queue or an opaque timeout.
 """
 
 from __future__ import annotations
@@ -47,12 +57,20 @@ from __future__ import annotations
 import logging
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.columnstore.query import Query
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    RejectedQuery,
+    admission_from_env,
+)
 from repro.core.bounded import BoundedResult
 from repro.core.contracts import Contract
 from repro.core.engine import SciBorq
@@ -62,12 +80,29 @@ from repro.core.maintenance import RefreshReport
 from repro.core.scheduler import SharedScanScheduler
 from repro.core.session import Session
 from repro.core.shards import ShardPool
-from repro.errors import SessionError
+from repro.errors import OverloadedError, SessionError
 from repro.util.clock import ExecutionContext
 from repro.util.concurrency import ReadWriteLock
 
 #: A unit of pool work: (session, query, contract, hierarchy name).
 _Job = Tuple[Session, Query, Contract, Optional[str]]
+
+
+@dataclass(frozen=True)
+class ShutdownReport:
+    """What :meth:`SciBorqServer.shutdown` actually did.
+
+    ``drained`` queries completed on their own (outcome or recorded
+    failure); ``cancelled`` were force-settled at the shutdown
+    deadline (best-so-far kept where a rung boundary allowed, failed
+    otherwise — their callers never block forever); ``evicted`` were
+    still waiting in the admission queue and were failed with a
+    structured shutdown rejection.  A second shutdown reports zeros.
+    """
+
+    drained: int = 0
+    cancelled: int = 0
+    evicted: int = 0
 
 
 class SciBorqServer:
@@ -111,6 +146,18 @@ class SciBorqServer:
         carry the quantisation bound in their CIs, and exact contracts
         force-promote before scanning.  Shutdown restores whatever
         governor the engine carried before.
+    admission:
+        Overload management (default: consult the environment).
+        ``True`` installs an :class:`~repro.core.admission.
+        AdmissionController` sized to the pool (``max_inflight ==
+        max_workers``); a ready controller is installed as-is;
+        ``None`` consults ``SCIBORQ_MAX_INFLIGHT`` /
+        ``SCIBORQ_QUEUE_DEPTH`` (admission stays off when neither is
+        set, preserving the unbounded-intake behaviour); ``False``
+        forces it off.  With admission on, ``submit`` may raise
+        :class:`~repro.errors.OverloadedError` and ``submit_many``
+        returns structured :class:`~repro.core.admission.
+        RejectedQuery` slots for shed queries.
     """
 
     def __init__(
@@ -121,6 +168,7 @@ class SciBorqServer:
         batch_window: float = 0.0,
         shard_pool: Union[bool, int, ShardPool, None] = False,
         memory_budget: Union[int, MemoryGovernor, None] = None,
+        admission: Union[bool, AdmissionController, None] = None,
     ) -> None:
         self.engine = engine
         if max_workers is None:
@@ -175,6 +223,22 @@ class SciBorqServer:
             logging.getLogger("repro.memory").info(
                 "memory budget: %d bytes", self.memory_governor.budget_bytes
             )
+        self.admission: Optional[AdmissionController] = None
+        if isinstance(admission, AdmissionController):
+            self.admission = admission
+        elif admission is True:
+            # in-flight width matching the pool: queueing happens in
+            # the controller (aged, bounded), never in the executor
+            self.admission = AdmissionController(max_inflight=max_workers)
+        elif admission is None:
+            self.admission = admission_from_env()
+        if self.admission is not None:
+            self.admission.bind_scheduler(self.scheduler)
+            logging.getLogger("repro.admission").info(
+                "admission control: %d in flight, queue depth %d",
+                self.admission.max_inflight,
+                self.admission.queue_depth,
+            )
         self._rwlock = ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sciborq"
@@ -183,6 +247,10 @@ class SciBorqServer:
         self._admin_lock = threading.Lock()
         self._next_session_id = 0
         self._queries_served = 0
+        self._queries_failed = 0
+        #: driven handles not yet settled — what a timed shutdown must
+        #: drain, cancel, or fail so no caller blocks forever
+        self._active_handles: Set[QueryHandle] = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -197,6 +265,7 @@ class SciBorqServer:
         confidence: Optional[float] = None,
         strict: bool = False,
         shared_scans: bool = True,
+        weight: float = 1.0,
     ) -> Session:
         """Open a new session with its own default contract.
 
@@ -206,7 +275,8 @@ class SciBorqServer:
         ``shared_scans=False`` keeps this user's scans out of the
         server's shared-scan convoys (answers and charges are
         identical either way; opting out only forgoes the wall-clock
-        sharing).
+        sharing).  ``weight`` is this tenant's admission-priority
+        weight under overload (ignored without admission control).
         """
         self._require_open()
         with self._admin_lock:
@@ -222,6 +292,7 @@ class SciBorqServer:
                 confidence=confidence,
                 strict=strict,
                 shared_scans=shared_scans,
+                weight=weight,
             )
             self._sessions[session_id] = session
             return session
@@ -254,28 +325,69 @@ class SciBorqServer:
 
         The execution context is opened here — engine clock plus the
         session clock as observers — so the outcome's ``total_cost``
-        is exactly this query's own spending.
+        is exactly this query's own spending.  With admission control
+        the call first takes a blocking-kind ticket: it waits inline
+        in the same aged queue as pool submissions, may run under a
+        coarsened contract (``outcome.degraded``), and raises
+        :class:`~repro.errors.OverloadedError` when shed.
         """
         self._require_open()
         session._require_open()
         contract = contract if contract is not None else session.defaults
-        with self._rwlock.read_locked():
-            # opened inside the read lock so wall-mode budgets bill
-            # execution time only, not time queued behind a writer
-            context = ExecutionContext(
-                clock=self.engine.clock,
-                limit=contract.time_budget,
-                observers=(session.clock,),
-                shared_scans=session.shared_scans,
+        ticket: Optional[AdmissionTicket] = None
+        if self.admission is not None:
+            ticket, contract = self.admission.admit(
+                session, query, contract, kind="blocking"
             )
-            outcome = self.engine.execute(
-                query, contract, hierarchy=hierarchy, context=context
-            )
+            if not self.admission.wait(ticket):
+                # the controller closed while we queued: structured
+                # shutdown rejection, never a silent hang
+                self.admission.release(ticket)
+                raise OverloadedError(
+                    self._shutdown_rejection(session, query)
+                )
+        failed = True
+        try:
+            with self._rwlock.read_locked():
+                # opened inside the read lock so wall-mode budgets bill
+                # execution time only, not time queued behind a writer
+                context = ExecutionContext(
+                    clock=self.engine.clock,
+                    limit=contract.time_budget,
+                    observers=(session.clock,),
+                    shared_scans=session.shared_scans,
+                )
+                outcome = self.engine.execute(
+                    query, contract, hierarchy=hierarchy, context=context
+                )
+            failed = False
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            self._note_failure(session, query, exc)
+            raise
+        finally:
+            if ticket is not None:
+                self.admission.release(ticket, failed=failed)
+        if ticket is not None and ticket.degraded:
+            outcome.degraded = True
         session._record(query, outcome)
         with self._admin_lock:
             self._queries_served += 1
         self._govern_memory()
         return outcome
+
+    def _shutdown_rejection(
+        self, session: Session, query: Query
+    ) -> RejectedQuery:
+        """A structured shed for queries the shutdown overtook."""
+        return RejectedQuery(
+            session_name=session.name,
+            session_id=session.session_id,
+            query=query,
+            reason="shutdown",
+            retry_after=0.0,
+            queued=0,
+            inflight=0,
+        )
 
     # ------------------------------------------------------------------
     # progressive execution (readers)
@@ -297,10 +409,22 @@ class SciBorqServer:
         rung, inside the read lock, so wall-mode budgets bill
         execution time only.  ``cancel()`` on the returned handle
         stops the worker between rungs.
+
+        With admission control the submission first passes the intake
+        ladder: it may be queued (the handle's ``queue_seconds`` and
+        every :class:`~repro.core.handle.ProgressUpdate` report the
+        wait), degraded (coarsened contract, outcome marked), or shed
+        — :class:`~repro.errors.OverloadedError` raised here, before
+        any handle exists.
         """
         self._require_open()
         session._require_open()
         contract = contract if contract is not None else session.defaults
+        ticket: Optional[AdmissionTicket] = None
+        if self.admission is not None:
+            ticket, contract = self.admission.admit(
+                session, query, contract, kind="pool"
+            )
         handle = self.engine.submit(
             query,
             contract,
@@ -312,16 +436,49 @@ class SciBorqServer:
                 shared_scans=session.shared_scans,
             ),
         )
+        if ticket is not None and ticket.degraded:
+            handle.mark_degraded()
         handle.mark_driven()
-        self._pool.submit(self._drive_handle, handle, session, query)
+        handle.mark_queued()
+        with self._admin_lock:
+            self._active_handles.add(handle)
+        if ticket is None:
+            submission = (self._drive_handle, handle, session, query)
+        else:
+            # a worker claims the *globally best* ticket, not this one:
+            # priority order happens here, on a plain FIFO pool
+            ticket.payload = (handle, session, query)
+            submission = (self._run_next_admitted,)
+        try:
+            self._pool.submit(*submission)
+        except RuntimeError:
+            # pool shut down between _require_open and here: settle the
+            # handle so its caller never blocks on a drain that will
+            # never run
+            self._settle_never_run(handle, session, query)
+        else:
+            if ticket is not None and self.admission.closed:
+                # close() may have evicted the ticket before its
+                # payload existed — same guarantee, same settle
+                self._settle_never_run(handle, session, query)
         return handle
+
+    def _settle_never_run(
+        self, handle: QueryHandle, session: Session, query: Query
+    ) -> None:
+        """Fail a handle whose drain was overtaken by shutdown."""
+        if handle.done:
+            return
+        handle._fail(OverloadedError(self._shutdown_rejection(session, query)))
+        with self._admin_lock:
+            self._active_handles.discard(handle)
 
     def submit_many(
         self,
         jobs: Sequence[Tuple[Session, Query]],
         hierarchy: Optional[str] = None,
-    ) -> List[QueryHandle]:
-        """Submit ``(session, query)`` pairs progressively; handles in
+    ) -> List[Union[QueryHandle, RejectedQuery]]:
+        """Submit ``(session, query)`` pairs progressively; slots in
         submission order.
 
         Each query runs under its session's default contract in its
@@ -329,26 +486,90 @@ class SciBorqServer:
         concurrently on the pool — one batch may interleave many
         users' in-flight work, each individually observable and
         cancellable.
+
+        Admission is *partial*: a batch that overruns the intake queue
+        gets handles for the admitted prefix and a structured
+        :class:`~repro.core.admission.RejectedQuery` (with retry-after
+        advice) in each shed slot — one overloaded slot never voids
+        its batch-mates.  Without admission control every slot is a
+        handle, as before.
         """
-        return [
-            self.submit(session, query, hierarchy=hierarchy)
-            for session, query in jobs
-        ]
+        results: List[Union[QueryHandle, RejectedQuery]] = []
+        for session, query in jobs:
+            try:
+                results.append(self.submit(session, query, hierarchy=hierarchy))
+            except OverloadedError as exc:
+                results.append(exc.rejection)
+        return results
+
+    def _run_next_admitted(self) -> None:
+        """Pool worker for admitted submissions: claim the globally
+        best waiting ticket, drive its handle, release the slot.
+
+        One of these is queued per admitted submission, but the ticket
+        a worker claims is whichever ranks best *now* under priority
+        aging — the controller, not pool FIFO order, decides dispatch.
+        """
+        assert self.admission is not None
+        ticket = self.admission.take()
+        if ticket is None:
+            # controller closed: evicted handles are failed by shutdown
+            return
+        handle, session, query = ticket.payload
+        failed = False
+        try:
+            failed = self._drive_handle(handle, session, query)
+        finally:
+            self.admission.release(ticket, failed=failed)
 
     def _drive_handle(
         self, handle: QueryHandle, session: Session, query: Query
-    ) -> None:
-        """Pool worker: drain one handle under the shared read lock."""
-        with self._rwlock.read_locked():
-            handle.drain()
+    ) -> bool:
+        """Pool worker core: drain one handle under the shared read
+        lock.  Returns whether the drain failed.
+
+        A failure (strict bound miss, bad predicate) stays on the
+        handle for ``result()`` to re-raise — but it is *counted*
+        here, per server and per session, so a background failure is
+        observable without anyone ever calling ``result()``.
+        """
         try:
-            outcome = handle.result(timeout=0)
-        except BaseException:  # noqa: BLE001 - strict misses stay on the handle
-            return
-        session._record(query, outcome)
+            try:
+                with self._rwlock.read_locked():
+                    handle.drain()
+            except BaseException as exc:  # noqa: BLE001 - worker died
+                # drain() records *query* failures on the handle and
+                # returns; reaching here means the worker itself died
+                # mid-drain.  Settle the handle (first-settle-wins) so
+                # its caller never blocks on a drain nobody finishes.
+                handle._fail(exc)
+            try:
+                outcome = handle.result(timeout=0)
+            except BaseException as exc:  # noqa: BLE001 - stays on the handle
+                self._note_failure(session, query, exc)
+                return True
+            session._record(query, outcome)
+            with self._admin_lock:
+                self._queries_served += 1
+            self._govern_memory()
+            return False
+        finally:
+            with self._admin_lock:
+                self._active_handles.discard(handle)
+
+    def _note_failure(
+        self, session: Session, query: Query, exc: BaseException
+    ) -> None:
+        """Failure accounting: per server, per session, and logged."""
+        session._record_failure(query, exc)
         with self._admin_lock:
-            self._queries_served += 1
-        self._govern_memory()
+            self._queries_failed += 1
+        logging.getLogger("repro.server").debug(
+            "query failed: session %r, table %r: %s",
+            session.name,
+            query.table,
+            exc,
+        )
 
     def execute_many(
         self,
@@ -494,12 +715,34 @@ class SciBorqServer:
         """Total queries completed across all sessions."""
         return self._queries_served
 
+    @property
+    def queries_failed(self) -> int:
+        """Total queries that errored server-side (all sessions).
+
+        Counts strict-bound misses and execution errors on both the
+        blocking and the background path — a submit whose handle
+        nobody ever calls ``result()`` on still lands here.
+        """
+        return self._queries_failed
+
     def _require_open(self) -> None:
         if self._closed:
             raise SessionError("server is shut down")
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(
+        self, wait: bool = True, timeout: Optional[float] = None
+    ) -> ShutdownReport:
         """Close every session and stop the pool (idempotent).
+
+        With ``timeout`` (seconds, implies ``wait``), in-flight drains
+        get that long to complete; whatever is still running at the
+        deadline is cancelled between rungs (best-so-far kept) and
+        wedged or never-started drains are failed outright — either
+        way every handle settles, so no caller blocks forever.  The
+        returned :class:`ShutdownReport` says how many drained,
+        how many were cancelled, and how many queued submissions the
+        admission controller evicted (each failed with a structured
+        shutdown rejection).
 
         Also hands the engine's scan scheduler back: if this server's
         scheduler is still the installed one, whatever was installed
@@ -512,11 +755,72 @@ class SciBorqServer:
         unlinked — nothing leaks to atexit).
         """
         if self._closed:
-            return
+            return ShutdownReport()
         self._closed = True
         for session in self.sessions:
             session.close()
-        self._pool.shutdown(wait=wait)
+        evicted = 0
+        forced: Set[QueryHandle] = set()
+        if self.admission is not None:
+            for ticket in self.admission.close():
+                evicted += 1
+                if ticket.payload is None:
+                    continue  # a blocking ticket; its own thread sees False
+                evicted_handle = ticket.payload[0]
+                evicted_handle._fail(
+                    OverloadedError(
+                        self._shutdown_rejection(ticket.session, ticket.query)
+                    )
+                )
+                forced.add(evicted_handle)
+        with self._admin_lock:
+            active = list(self._active_handles)
+        cancelled = 0
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+            # stop feeding the pool; queued-but-unstarted drains are
+            # cancelled here and failed below so their handles settle
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            for handle in active:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    handle._done.wait(remaining)
+                if not handle.done:
+                    handle.request_cancel()
+            for handle in active:
+                if handle in forced:
+                    continue
+                if not handle.done:
+                    # grace for the cancel to land at a rung boundary
+                    handle._done.wait(0.2)
+                if not handle.done:
+                    cancelled += 1
+                    handle._fail(
+                        SessionError(
+                            "server shut down before this query completed"
+                        )
+                    )
+                    forced.add(handle)
+                elif handle.cancelled:
+                    cancelled += 1
+                    forced.add(handle)
+        else:
+            self._pool.shutdown(wait=wait)
+            if wait:
+                for handle in active:
+                    if handle in forced or handle.done:
+                        continue
+                    # its worker task was cancelled or never dispatched
+                    cancelled += 1
+                    handle._fail(
+                        SessionError(
+                            "server shut down before this query completed"
+                        )
+                    )
+                    forced.add(handle)
+        drained = sum(
+            1 for handle in active if handle.done and handle not in forced
+        )
         if (
             self.scheduler is not None
             and self.engine.scan_scheduler is self.scheduler
@@ -534,13 +838,24 @@ class SciBorqServer:
             and self.engine.memory_governor is self.memory_governor
         ):
             self.engine.set_memory_governor(self._previous_governor)
+        return ShutdownReport(
+            drained=drained, cancelled=cancelled, evicted=evicted
+        )
 
     def summary(self) -> str:
-        """Server state overview for examples and debugging."""
+        """Server state overview for examples and debugging.
+
+        Every figure is a consistent snapshot: the admission,
+        scheduler, and shard-pool stats objects each snapshot under
+        their own lock, so concurrent mutation never tears a line.
+        """
         sessions = self.sessions
+        with self._admin_lock:
+            served = self._queries_served
+            failed = self._queries_failed
         lines = [
             f"SciBorqServer: {len(sessions)} open session(s), "
-            f"{self._queries_served} queries served, "
+            f"{served} queries served, {failed} failed, "
             f"pool={self.max_workers} workers",
         ]
         lines.extend(f"  {session!r}" for session in sessions)
@@ -548,6 +863,8 @@ class SciBorqServer:
             f"  engine clock (all sessions + maintenance): "
             f"{self.engine.clock.now:g}"
         )
+        if self.admission is not None:
+            lines.append(f"  {self.admission.stats.describe()}")
         if self.scheduler is not None:
             lines.append(f"  {self.scheduler.stats.describe()}")
         if self.shard_pool is not None:

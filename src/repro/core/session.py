@@ -31,7 +31,7 @@ from repro.columnstore.query import Query
 from repro.core.bounded import BoundedResult
 from repro.core.contracts import Contract, legacy_contract
 from repro.core.handle import QueryHandle
-from repro.errors import SessionError
+from repro.errors import OverloadedError, SessionError
 from repro.util.clock import CostClock
 from repro.workload.log import QueryLog
 
@@ -45,7 +45,12 @@ INHERIT = object()
 
 @dataclass(frozen=True)
 class SessionStats:
-    """A point-in-time summary of one session's activity."""
+    """A point-in-time summary of one session's activity.
+
+    ``failures`` counts submissions that errored server-side (strict
+    bound misses, bad predicates) — outcomes that never reach
+    ``history`` but must stay observable per tenant.
+    """
 
     session_id: int
     name: str
@@ -53,6 +58,7 @@ class SessionStats:
     total_cost: float
     quality_misses: int
     budget_misses: int
+    failures: int = 0
 
 
 class Session:
@@ -79,6 +85,13 @@ class Session:
         convoys (:mod:`repro.core.scheduler`).  On by default —
         sharing changes wall-clock only, never answers or charges;
         opting out pins every scan of this session to the solo path.
+    weight:
+        Admission-priority weight (:mod:`repro.core.admission`): under
+        overload, this tenant's queued queries rank as if ``weight``
+        sessions were asking.  Aging still guarantees every other
+        tenant's queries dispatch eventually — weight buys position,
+        never exclusivity.  Ignored when the server runs without
+        admission control.
     """
 
     def __init__(
@@ -92,13 +105,18 @@ class Session:
         confidence: Optional[float] = None,
         strict: bool = False,
         shared_scans: bool = True,
+        weight: float = 1.0,
     ) -> None:
+        if weight <= 0:
+            raise SessionError(f"weight must be positive, got {weight}")
         self._server = server
         self.session_id = session_id
         self.name = name if name is not None else f"session-{session_id}"
         #: Enrolment in the server's shared-scan convoys; carried into
         #: every execution context the server opens for this session.
         self.shared_scans = shared_scans
+        #: Admission-priority weight of this tenant's queued queries.
+        self.weight = weight
         legacy = legacy_contract(
             max_relative_error,
             time_budget,
@@ -122,6 +140,7 @@ class Session:
         self.query_log = QueryLog()
         self._history: List[BoundedResult] = []
         self._history_lock = threading.Lock()
+        self._failures = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -265,14 +284,31 @@ class Session:
         queries: Sequence[Query],
         contract: Optional[Contract] = None,
         hierarchy: Optional[str] = None,
-    ) -> List[QueryHandle]:
-        """Submit a batch of progressive executions, handles in order."""
+    ) -> List[object]:
+        """Submit a batch of progressive executions, slots in order.
+
+        Under admission control a batch that overruns the intake queue
+        is admitted *partially*: admitted queries get their
+        :class:`~repro.core.handle.QueryHandle`; each shed slot
+        carries the structured
+        :class:`~repro.core.admission.RejectedQuery` (reason,
+        retry-after advice) instead — never an exception that voids
+        the admitted batch-mates.  Without admission every slot is a
+        handle, as always.
+        """
         self._require_open()
         resolved = contract if contract is not None else self.defaults
-        return [
-            self._server.submit(self, query, resolved, hierarchy=hierarchy)
-            for query in queries
-        ]
+        results: List[object] = []
+        for query in queries:
+            try:
+                results.append(
+                    self._server.submit(
+                        self, query, resolved, hierarchy=hierarchy
+                    )
+                )
+            except OverloadedError as exc:
+                results.append(exc.rejection)
+        return results
 
     # ------------------------------------------------------------------
     # bookkeeping (called by the server)
@@ -281,6 +317,16 @@ class Session:
         self.query_log.record(query)
         with self._history_lock:
             self._history.append(outcome)
+
+    def _record_failure(self, query: Query, exc: BaseException) -> None:
+        """Count a server-side failure of one of this session's queries.
+
+        Failed submissions never reach :attr:`history` (there is no
+        outcome to store), so without this counter a strict-miss on a
+        background handle would be invisible to the tenant's stats.
+        """
+        with self._history_lock:
+            self._failures += 1
 
     def _require_open(self) -> None:
         if self._closed:
@@ -316,6 +362,7 @@ class Session:
         """
         with self._history_lock:
             history = list(self._history)
+            failures = self._failures
         return SessionStats(
             session_id=self.session_id,
             name=self.name,
@@ -323,6 +370,7 @@ class Session:
             total_cost=self.clock.now,
             quality_misses=sum(1 for r in history if not r.met_quality),
             budget_misses=sum(1 for r in history if not r.met_budget),
+            failures=failures,
         )
 
     def close(self) -> None:

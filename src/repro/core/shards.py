@@ -592,7 +592,13 @@ class _Worker:
 
 @dataclass
 class ShardPoolStats:
-    """Diagnostic counters of one pool's lifetime."""
+    """Diagnostic counters of one pool's lifetime.
+
+    Mutated from every thread that scatters, so increments go through
+    :meth:`add` (guarded) and consistent reads through
+    :meth:`snapshot` — a bare ``+=`` from two threads loses updates,
+    and a multi-field read during one tears.
+    """
 
     scatters: int = 0  #: sub-plan fan-outs served end-to-end
     declined: int = 0  #: scatter requests answered with a fallback
@@ -600,12 +606,33 @@ class ShardPoolStats:
     ephemeral_exports: int = 0  #: one-shot complement/delta exports
     export_bytes: int = 0  #: total bytes snapshotted across exports
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: int) -> None:
+        """Atomically bump the named counters (``add(declined=1)``)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> "ShardPoolStats":
+        """A consistent point-in-time copy (never torn)."""
+        with self._lock:
+            return ShardPoolStats(
+                scatters=self.scatters,
+                declined=self.declined,
+                exports=self.exports,
+                ephemeral_exports=self.ephemeral_exports,
+                export_bytes=self.export_bytes,
+            )
+
     def describe(self) -> str:
+        view = self.snapshot()
         return (
-            f"shard pool: {self.scatters} scatters, "
-            f"{self.declined} declined, {self.exports} cached + "
-            f"{self.ephemeral_exports} ephemeral exports "
-            f"({self.export_bytes / 1e6:.1f} MB)"
+            f"shard pool: {view.scatters} scatters, "
+            f"{view.declined} declined, {view.exports} cached + "
+            f"{view.ephemeral_exports} ephemeral exports "
+            f"({view.export_bytes / 1e6:.1f} MB)"
         )
 
 
@@ -775,8 +802,7 @@ class ShardPool:
             self._degraded = True
             return None
         self._exports[table.name] = export
-        self.stats.exports += 1
-        self.stats.export_bytes += export.nbytes
+        self.stats.add(exports=1, export_bytes=export.nbytes)
         return export
 
     def invalidate(self, table_name: str) -> None:
@@ -959,7 +985,7 @@ class ShardPool:
                     if arena_held:
                         worker.arena_lock.release()
             if failed:
-                self.stats.declined += 1
+                self.stats.add(declined=1)
                 return None
             if len(fragments) > 1:
                 indices = np.concatenate(fragments)
@@ -967,7 +993,7 @@ class ShardPool:
                 indices = fragments[0]
             else:  # pragma: no cover - ranges is never empty here
                 indices = np.empty(0, dtype=np.int64)
-            self.stats.scatters += 1
+            self.stats.add(scatters=1)
             return indices, OperatorStats(
                 "select",
                 tin,
@@ -1034,9 +1060,9 @@ class ShardPool:
                     continue
                 partials.append(msg[3])
             if failed:
-                self.stats.declined += 1
+                self.stats.add(declined=1)
                 return None
-            self.stats.scatters += 1
+            self.stats.add(scatters=1)
             return partials
         finally:
             self._end_scatter()
@@ -1061,7 +1087,7 @@ class ShardPool:
         if self._closed or self._degraded:
             return None
         if not self._shardable(table):
-            self.stats.declined += 1
+            self.stats.add(declined=1)
             return None
         try:
             registered = self._is_registered(table)
@@ -1076,19 +1102,19 @@ class ShardPool:
             if not needed:
                 # nothing to evaluate remotely (or no predicate info):
                 # a trivial scan is cheaper in-process
-                self.stats.declined += 1
+                self.stats.add(declined=1)
                 return None
         oneshot: Optional[TableExport] = None
         with self._admin_lock:
             if self._closed or self._degraded:
                 return None
             if not self._ensure_started():
-                self.stats.declined += 1
+                self.stats.add(declined=1)
                 return None
             if registered:
                 export = self._ensure_export(table)
                 if export is None:
-                    self.stats.declined += 1
+                    self.stats.add(declined=1)
                     return None
             else:
                 try:
@@ -1104,15 +1130,16 @@ class ShardPool:
                         table.name,
                     )
                     self._degraded = True
-                    self.stats.declined += 1
+                    self.stats.add(declined=1)
                     return None
                 except Exception:  # noqa: BLE001 - e.g. missing column
                     # the in-process scan will raise the real error
-                    self.stats.declined += 1
+                    self.stats.add(declined=1)
                     return None
                 export = oneshot
-                self.stats.ephemeral_exports += 1
-                self.stats.export_bytes += oneshot.nbytes
+                self.stats.add(
+                    ephemeral_exports=1, export_bytes=oneshot.nbytes
+                )
             ranges = shard_ranges(
                 export.manifest.num_rows,
                 export.manifest.block_size,
@@ -1121,7 +1148,7 @@ class ShardPool:
             if len(ranges) < 2:
                 if oneshot is not None:
                     oneshot.close()
-                self.stats.declined += 1
+                self.stats.add(declined=1)
                 return None
             self._inflight += 1
             return export.manifest, ranges, oneshot

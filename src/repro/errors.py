@@ -90,3 +90,20 @@ class EstimationError(SciborqError):
 
 class SessionError(SciborqError):
     """A server session was used incorrectly (e.g. after close)."""
+
+
+class OverloadedError(SciborqError):
+    """The server shed a query instead of queueing it unboundedly.
+
+    Carries the structured :class:`~repro.core.admission.RejectedQuery`
+    as ``rejection``, so callers get the shed reason and a retry-after
+    estimate instead of a timeout: back off for
+    ``exc.rejection.retry_after`` seconds and resubmit.  Raised only by
+    the single-query entry points; batch submission
+    (``SciBorqServer.submit_many``) returns the rejection in the
+    query's result slot instead of raising.
+    """
+
+    def __init__(self, rejection) -> None:
+        super().__init__(rejection.describe())
+        self.rejection = rejection
