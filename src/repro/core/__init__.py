@@ -32,6 +32,11 @@
 * :mod:`repro.core.admission` — overload management: bounded intake
   with priority aging, graceful degradation under pressure, and
   structured sheds with retry-after advice.
+* :mod:`repro.core.intelligence` — collaborative workload
+  intelligence: the cross-session query log mined into a
+  region-popularity model that prewarms predicted-hot impressions
+  and blocks, weights maintenance budgets, and recommends ladder
+  entry points.
 """
 
 from repro.core.admission import (
@@ -61,16 +66,22 @@ from repro.core.engine import SciBorq
 from repro.core.scheduler import SchedulerStats, SharedScanScheduler
 from repro.core.session import Session, SessionStats
 from repro.core.server import SciBorqServer, ShutdownReport
+from repro.core.intelligence import WorkloadIntelligenceService
 from repro.core.persistence import (
     load_hierarchy,
+    load_intelligence,
     read_snapshot_metadata,
     save_hierarchy,
+    save_intelligence,
 )
 
 __all__ = [
     "load_hierarchy",
+    "load_intelligence",
     "read_snapshot_metadata",
     "save_hierarchy",
+    "save_intelligence",
+    "WorkloadIntelligenceService",
     "AdmissionController",
     "AdmissionStats",
     "RejectedQuery",

@@ -208,6 +208,9 @@ class BoundedQueryProcessor:
         # guarded against lost updates.
         self._throughput: Optional[float] = None
         self._throughput_lock = threading.Lock()
+        # optional mined initial-rung advisor (workload intelligence):
+        # (query, ladder) -> rungs to skip at the bottom
+        self._rung_advisor = None
 
     def new_context(self, limit: Optional[float] = None) -> ExecutionContext:
         """Open a per-query context observed by this processor's clock."""
@@ -236,6 +239,23 @@ class BoundedQueryProcessor:
         """
         self._base_executor.shard_pool = pool
         self.estimator.use_shard_pool(pool)
+
+    def use_rung_advisor(self, advisor) -> None:
+        """Install (or remove, with ``None``) an initial-rung advisor.
+
+        ``advisor(query, ladder) -> int`` returns how many bottom
+        rungs to skip — mined from past escalation outcomes in this
+        query's region (:mod:`repro.core.intelligence`).  Skipping
+        never changes which *answers* later rungs produce (each rung's
+        answer is independent of how the ladder reached it; delta
+        escalation re-weights to exactly the from-scratch result), but
+        it does change charges for queries that would have settled on
+        a skipped rung, so the advisor itself decides when it is
+        confident enough to speak (and the service keeps it opt-in).
+        The last rung — the base table — is never skipped, and a
+        broken advisor is ignored rather than failing the query.
+        """
+        self._rung_advisor = advisor
 
     def _budget_units(
         self, predicted_cost: float, context: ExecutionContext
@@ -359,6 +379,13 @@ class BoundedQueryProcessor:
         else:
             ladder = list(self.hierarchy.candidates_for(query, base))
             ladder.append(None)  # the base table: exact, most expensive
+            if self._rung_advisor is not None and len(ladder) > 1:
+                try:
+                    skip = int(self._rung_advisor(query, ladder))
+                except Exception:
+                    skip = 0
+                if skip > 0:
+                    ladder = ladder[min(skip, len(ladder) - 1):]
 
         foldable = self._foldable_enabled(query)
         # Delta state threaded up the ladder: the matching rows of

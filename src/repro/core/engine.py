@@ -28,6 +28,7 @@ update per escalation rung and can be cancelled between rungs.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +54,7 @@ from repro.core.maintenance import (
     RefreshReport,
     rebuild_from_base,
     refresh_hierarchy,
+    refresh_hierarchy_budgeted,
 )
 from repro.core.policy import (
     BiasedPolicy,
@@ -69,7 +71,7 @@ from repro.util.clock import CostClock, ExecutionContext, WallClock
 from repro.util.rng import RandomSource, ensure_rng
 from repro.workload.drift import DriftDetector
 from repro.workload.interest import InterestModel
-from repro.workload.log import QueryLog
+from repro.workload.log import QueryLog, QueryLogEntry, QueryOutcome
 from repro.workload.predicates import PredicateSetCollector
 
 
@@ -148,6 +150,12 @@ class SciBorq:
         # demotes least-recently-scanned blocks hot→warm→cold to keep
         # the engine-wide footprint inside a byte budget (core/governor).
         self._memory_governor = None
+        # workload-intelligence service (installed by the server layer
+        # or directly): mines the query log into a region-popularity
+        # model, prewarms predicted-hot ladders/blocks, weights the
+        # maintenance budget, and advises initial rungs
+        # (core/intelligence).
+        self._intelligence = None
         # Serialises workload bookkeeping (query log, predicate
         # collector, interest, drift) so concurrent sessions can share
         # one engine; the server layer relies on this.
@@ -200,6 +208,8 @@ class SciBorq:
         )
         if self._shard_pool is not None:
             processor.use_shard_pool(self._shard_pool)
+        if self._intelligence is not None:
+            processor.use_rung_advisor(self._intelligence.initial_rung)
         self._processors.setdefault(table, {})[hierarchy_name] = processor
         if make_default or table not in self._default_hierarchy:
             self._default_hierarchy[table] = hierarchy_name
@@ -381,12 +391,68 @@ class SciBorq:
         """
         self._memory_governor = governor
         if governor is not None:
+            if self._intelligence is not None:
+                governor.set_heat_source(self._intelligence.block_heat)
             governor.enforce(self)
 
     @property
     def memory_governor(self):
         """The installed memory governor, or ``None``."""
         return self._memory_governor
+
+    def set_intelligence(self, service) -> None:
+        """Install (or remove, with ``None``) a workload-intelligence
+        service (:class:`~repro.core.intelligence.
+        WorkloadIntelligenceService`).
+
+        Wires the whole acting surface at once: the service binds to
+        this engine's interest domains and query log; every bounded
+        processor — existing and future — gets the mined initial-rung
+        advisor (inert until the service's ``advise_rungs`` opt-in);
+        the maintenance planner gets the popularity source that
+        weights refresh budgets; and an installed memory governor gets
+        the block-heat predictor.  Removing the service detaches all
+        four.  The server layer installs one when constructed with
+        ``intelligence=``.
+        """
+        self._intelligence = service
+        if service is not None:
+            service.bind(self)
+        advisor = None if service is None else service.initial_rung
+        for named in self._processors.values():
+            for processor in named.values():
+                processor.use_rung_advisor(advisor)
+        self.planner.set_popularity_source(
+            None if service is None else service.table_share
+        )
+        if self._memory_governor is not None:
+            self._memory_governor.set_heat_source(
+                None if service is None else service.block_heat
+            )
+
+    @property
+    def intelligence(self):
+        """The installed workload-intelligence service, or ``None``."""
+        return self._intelligence
+
+    def mine_workload(self) -> int:
+        """Fold new query-log entries into the mined model (no-op
+        without an intelligence service); returns entries mined."""
+        if self._intelligence is None:
+            return 0
+        return self._intelligence.mine(self)
+
+    def prewarm(self) -> Dict[str, int]:
+        """Run one predictive prewarm pass (no-op without a service).
+
+        Pure caching — materialises predicted-hot ladders and promotes
+        predicted-hot blocks; answers and charges of every query are
+        unchanged.  Callers sharing the engine across threads must
+        hold the server's write lock (the server's cadence does).
+        """
+        if self._intelligence is None:
+            return {}
+        return self._intelligence.prewarm(self)
 
     def enforce_memory(self) -> None:
         """Run one governor enforcement pass (no-op without one)."""
@@ -475,6 +541,7 @@ class SciBorq:
         hierarchy: Optional[str] = None,
         context: Optional[ExecutionContext] = None,
         context_factory: Optional[Callable[[], ExecutionContext]] = None,
+        session_id: Optional[int] = None,
     ) -> QueryHandle:
         """Submit a query for progressive execution under ``contract``.
 
@@ -500,13 +567,17 @@ class SciBorq:
         contract = contract if contract is not None else Contract()
         hierarchy = hierarchy if hierarchy is not None else contract.hierarchy
         with self._workload_lock:
-            self.query_log.record(query)
+            entry = self.query_log.record(query)
             self.collector.observe(query)
+        submitted = time.perf_counter()
         if contract.is_exact:
             return QueryHandle(
                 query,
                 contract,
                 self._run_exact(query, contract, context, context_factory),
+                finalize=lambda outcome: self._settle_entry(
+                    entry, outcome, submitted, session_id
+                ),
             )
         if query.table not in self._processors or not self._processors[query.table]:
             raise QueryError(
@@ -519,7 +590,12 @@ class SciBorq:
             query,
             contract,
             self._run_bounded(processor, query, contract, context, context_factory),
-            finalize=lambda outcome: self._finalize_outcome(query, outcome),
+            finalize=lambda outcome: self._settle_entry(
+                entry,
+                self._finalize_outcome(query, outcome),
+                submitted,
+                session_id,
+            ),
         )
 
     def execute(
@@ -566,7 +642,12 @@ class SciBorq:
             query, contract, hierarchy=hierarchy, context=context
         ).result()
 
-    def execute_exact(self, query: Query, context: Optional[ExecutionContext] = None):
+    def execute_exact(
+        self,
+        query: Query,
+        context: Optional[ExecutionContext] = None,
+        session_id: Optional[int] = None,
+    ):
         """Run a query on the base data, bypassing impressions.
 
         Legacy spelling retained for callers that want the raw
@@ -580,10 +661,26 @@ class SciBorq:
         query = expand_view(self.catalog, query)
         self._promote_for_exact(query)
         with self._workload_lock:
-            self.query_log.record(query)
+            entry = self.query_log.record(query)
             self.collector.observe(query)
+        started = time.perf_counter()
+        charge_base = context.spent if context is not None else self.clock.now
         result = self._base_executor.execute(query, context=context)
+        charged = (
+            context.spent if context is not None else self.clock.now
+        ) - charge_base
         self._offer_recycled_rows(query)
+        self.query_log.settle(
+            entry.sequence,
+            QueryOutcome(
+                tuples_charged=float(charged),
+                rungs_climbed=1,
+                achieved_error=0.0,
+                wall_seconds=time.perf_counter() - started,
+                session_id=session_id,
+                degraded=False,
+            ),
+        )
         return result
 
     def _promote_for_exact(self, query: Query) -> None:
@@ -702,6 +799,34 @@ class SciBorq:
         self._apply_extrema(query, outcome)
         return outcome
 
+    def _settle_entry(
+        self,
+        entry: QueryLogEntry,
+        outcome: BoundedResult,
+        submitted: float,
+        session_id: Optional[int],
+    ) -> BoundedResult:
+        """Stamp a finished outcome back onto its query-log entry.
+
+        This is what turns the log from a list of predicates into the
+        fleet-wide asset the workload miner feeds on: every settled
+        entry carries what the query *cost* (tuples charged, rungs
+        climbed, wall seconds) and what it *achieved* (relative error,
+        degraded flag), keyed by the submitting session.
+        """
+        self.query_log.settle(
+            entry.sequence,
+            QueryOutcome(
+                tuples_charged=float(outcome.total_cost),
+                rungs_climbed=len(outcome.attempts),
+                achieved_error=float(outcome.achieved_error),
+                wall_seconds=time.perf_counter() - submitted,
+                session_id=session_id,
+                degraded=bool(outcome.degraded),
+            ),
+        )
+        return outcome
+
     def _apply_extrema(self, query: Query, outcome: BoundedResult) -> None:
         """Overwrite MIN/MAX estimates with exact extrema when tracked."""
         estimates = outcome.result.estimates
@@ -736,21 +861,55 @@ class SciBorq:
 
         Returns refresh reports per table for hierarchies whose
         workload drifted; quiet hierarchies are untouched.
+
+        Decay is scoped to the attributes whose detectors actually
+        fired — interest accumulated on stable attributes keeps its
+        evidence.  When a workload-intelligence service is installed
+        (:meth:`set_intelligence`), each table's refresh spends a
+        tuple budget proportional to its mined popularity share: the
+        most popular table refreshes in full and the others only as
+        far as their share affords, always favouring the cheap reflex
+        layers.  Without a popularity source (or before any query has
+        been mined) every hierarchy refreshes in full, as before.
         """
         drifted = self.planner.drifted_attributes()
         if not drifted:
             return {}
         self.planner.drift_events += 1
-        self.interest.decay(self.planner.decay_factor)
+        for attribute in drifted:
+            if not self.interest.decay_attribute(
+                attribute, self.planner.decay_factor
+            ):
+                self.interest.decay(self.planner.decay_factor)
+                break
         for attribute in drifted:
             self.planner.detectors[attribute].reset_reference()
+        source = self.planner.popularity_source
+        shares: Dict[str, float] = {}
+        if source is not None:
+            for table in self._hierarchies:
+                try:
+                    shares[table] = float(source(table))
+                except Exception:
+                    shares[table] = 0.0
+        max_share = max(shares.values(), default=0.0)
         reports: Dict[str, list[RefreshReport]] = {}
         for table, named in self._hierarchies.items():
             base = self.catalog.table(table)
             table_reports: list[RefreshReport] = []
             for hierarchy in named.values():
+                if max_share <= 0.0:
+                    budget = None  # no mined signal: full refresh
+                else:
+                    layers = hierarchy.layers
+                    need = float(
+                        sum(lower.size for lower in layers[:-1])
+                    )
+                    budget = need * (shares[table] / max_share)
                 table_reports.extend(
-                    refresh_hierarchy(hierarchy, base, self.clock)
+                    refresh_hierarchy_budgeted(
+                        hierarchy, base, self.clock, budget
+                    )
                 )
             reports[table] = table_reports
         return reports
@@ -788,6 +947,8 @@ class SciBorq:
             f"query log: {len(self.query_log)} entries; interest: "
             f"{self.interest!r}; drift events: {self.planner.drift_events}"
         )
+        if self._intelligence is not None:
+            lines.append(self._intelligence.describe())
         lines.append(f"clock: {self.clock.now:g} cost units")
         report = self.memory_report()
         tiers = report["tiers"]

@@ -267,12 +267,14 @@ class QueryHandle:
     def _finish(self, result: Optional["BoundedResult"]) -> None:
         if self.done:
             return  # first settle wins
+        if result is not None and self._degraded:
+            # stamped before _done is set, so a caller woken by
+            # result() can never observe an unmarked degraded outcome;
+            # and before finalize, so the engine's settle hook logs
+            # the degraded flag the caller will see
+            result.degraded = True
         if result is not None and self._finalize is not None:
             result = self._finalize(result)
-        if result is not None and self._degraded:
-            # stamped here, before _done is set, so a caller woken by
-            # result() can never observe an unmarked degraded outcome
-            result.degraded = True
         with self._state:
             self._result = result
             if self._started_at is not None:

@@ -150,6 +150,37 @@ def refresh_hierarchy(
     return reports
 
 
+def refresh_hierarchy_budgeted(
+    hierarchy: ImpressionHierarchy,
+    base: Table,
+    clock: Optional[ChargeTarget] = None,
+    budget: Optional[float] = None,
+) -> List[RefreshReport]:
+    """Refresh from below, spending at most ``budget`` streamed tuples.
+
+    The popularity-weighted maintenance path: the engine allocates
+    each table a tuple budget proportional to its mined workload
+    share, and this pass walks the ladder in the usual lower→upper
+    order, *skipping* any pair whose cost (|lower|) no longer fits.
+    Because layers shrink up the ladder, a tight budget still
+    refreshes the small reflex layers — exactly the ones the paper
+    says "need fast reflexes" — and only forgoes the expensive large
+    pairs.  ``budget=None`` degrades to :func:`refresh_hierarchy`.
+    """
+    if budget is None:
+        return refresh_hierarchy(hierarchy, base, clock)
+    reports: List[RefreshReport] = []
+    remaining = float(budget)
+    layers = hierarchy.layers
+    for lower, upper in zip(layers, layers[1:]):
+        cost = float(lower.size)
+        if cost > remaining:
+            continue  # later pairs are cheaper; give them a chance
+        reports.append(refresh_from_below(upper, lower, base, clock))
+        remaining -= cost
+    return reports
+
+
 def rebuild_from_base(
     hierarchy: ImpressionHierarchy,
     base: Table,
@@ -232,12 +263,23 @@ class MaintenancePlanner:
         How hard to age the interest histograms on drift (0.5 halves
         the accumulated focal evidence, letting the new focus dominate
         quickly).
+    popularity_source:
+        Optional table→share callable (the workload-intelligence
+        service's ``table_share``).  When set, the engine's drift
+        reaction spends its refresh budget proportionally to mined
+        popularity instead of refreshing every hierarchy in full, and
+        decay is scoped to the drifting attributes only.
     """
 
     interest: InterestModel
     detectors: Dict[str, DriftDetector] = field(default_factory=dict)
     decay_factor: float = 0.5
     drift_events: int = 0
+    popularity_source: Optional[object] = None
+
+    def set_popularity_source(self, source) -> None:
+        """Install (or clear, with ``None``) the table→share callable."""
+        self.popularity_source = source
 
     def observe(self, attribute: str, values: np.ndarray) -> None:
         """Feed predicate values to the attribute's drift detector."""

@@ -124,6 +124,63 @@ def load_hierarchy(hierarchy: ImpressionHierarchy, path: str | Path) -> None:
             impression.set_inclusion_override(None)
 
 
+def save_intelligence(source, path: str | Path) -> Path:
+    """Snapshot a mined region-popularity model to ``path`` (.npz).
+
+    ``source`` is a :class:`~repro.core.intelligence.
+    WorkloadIntelligenceService` or a bare :class:`~repro.workload.
+    intelligence.RegionPopularityModel`.  The snapshot carries the
+    full popularity grid (counts, settled outcomes, cost/rung/error
+    sums), the per-table counts, and — for a service — the miner's
+    log cursor, so a reloaded model makes *identical* predictions and
+    a service rebuilt on top keeps mining where this one stopped.
+    """
+    path = Path(path)
+    model = getattr(source, "model", None)
+    if model is None:
+        model = source
+    metadata: dict = {
+        "format_version": FORMAT_VERSION,
+        "kind": "workload-intelligence",
+        "model": model.state_metadata(),
+    }
+    miner = getattr(source, "miner", None)
+    if miner is not None:
+        metadata["next_sequence"] = int(miner.next_sequence)
+    arrays = dict(model.state_arrays())
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_intelligence(path: str | Path):
+    """Restore a model saved by :func:`save_intelligence`.
+
+    Returns the rebuilt :class:`~repro.workload.intelligence.
+    RegionPopularityModel`; pass it to
+    ``WorkloadIntelligenceService(model=...)`` to serve (and keep
+    mining) it — the collaborative half of workload intelligence:
+    one server's mined history warms the next server's caches.
+    """
+    from repro.workload.intelligence import RegionPopularityModel
+
+    metadata = read_snapshot_metadata(path)
+    if metadata.get("kind") != "workload-intelligence":
+        raise ImpressionError(
+            f"snapshot at {path} is not a workload-intelligence model "
+            f"(kind={metadata.get('kind')!r})"
+        )
+    with np.load(Path(path)) as bundle:
+        arrays = {
+            name: np.array(bundle[name])
+            for name in bundle.files
+            if name != "metadata"
+        }
+    return RegionPopularityModel.from_state(arrays, metadata["model"])
+
+
 class ColumnBlockStore:
     """Append-only raw-block spill file with mmap-backed reads.
 

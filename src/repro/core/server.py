@@ -76,6 +76,7 @@ from repro.core.contracts import Contract
 from repro.core.engine import SciBorq
 from repro.core.governor import MemoryGovernor, governor_from_env
 from repro.core.handle import QueryHandle
+from repro.core.intelligence import WorkloadIntelligenceService
 from repro.core.maintenance import RefreshReport
 from repro.core.scheduler import SharedScanScheduler
 from repro.core.session import Session
@@ -158,6 +159,20 @@ class SciBorqServer:
         :class:`~repro.errors.OverloadedError` and ``submit_many``
         returns structured :class:`~repro.core.admission.
         RejectedQuery` slots for shed queries.
+    intelligence:
+        Collaborative workload intelligence (default off).  ``True``
+        installs a default :class:`~repro.core.intelligence.
+        WorkloadIntelligenceService`; a ready service is installed
+        as-is (e.g. one rebuilt from a persisted model via
+        :func:`~repro.core.persistence.load_intelligence`).  The
+        service mines the engine's cross-session query log into a
+        region-popularity model after query completions and, on its
+        cadence, prewarms predicted-hot impressions and column blocks
+        under the write lock — pure caching, so answers, charges, and
+        admitted-query latency bounds are untouched.  It also weights
+        drift-reaction refresh budgets by table popularity and powers
+        ``Session.recommend``.  Shutdown restores whatever service the
+        engine carried before.
     """
 
     def __init__(
@@ -169,6 +184,7 @@ class SciBorqServer:
         shard_pool: Union[bool, int, ShardPool, None] = False,
         memory_budget: Union[int, MemoryGovernor, None] = None,
         admission: Union[bool, AdmissionController, None] = None,
+        intelligence: Union[bool, WorkloadIntelligenceService, None] = None,
     ) -> None:
         self.engine = engine
         if max_workers is None:
@@ -222,6 +238,21 @@ class SciBorqServer:
             engine.set_memory_governor(self.memory_governor)
             logging.getLogger("repro.memory").info(
                 "memory budget: %d bytes", self.memory_governor.budget_bytes
+            )
+        self._previous_intelligence = engine.intelligence
+        self.intelligence: Optional[WorkloadIntelligenceService] = None
+        if isinstance(intelligence, WorkloadIntelligenceService):
+            self.intelligence = intelligence
+        elif intelligence:
+            self.intelligence = WorkloadIntelligenceService()
+        if self.intelligence is not None:
+            engine.set_intelligence(self.intelligence)
+            logging.getLogger("repro.intelligence").info(
+                "workload intelligence: %d×%d popularity grid, "
+                "prewarm every %d mined queries",
+                self.intelligence.model.bins,
+                self.intelligence.model.bins,
+                self.intelligence.prewarm_every,
             )
         self.admission: Optional[AdmissionController] = None
         if isinstance(admission, AdmissionController):
@@ -346,6 +377,7 @@ class SciBorqServer:
                 raise OverloadedError(
                     self._shutdown_rejection(session, query)
                 )
+        session.query_log.record(query)
         failed = True
         try:
             with self._rwlock.read_locked():
@@ -357,9 +389,19 @@ class SciBorqServer:
                     observers=(session.clock,),
                     shared_scans=session.shared_scans,
                 )
-                outcome = self.engine.execute(
-                    query, contract, hierarchy=hierarchy, context=context
+                handle = self.engine.submit(
+                    query,
+                    contract,
+                    hierarchy=hierarchy,
+                    context=context,
+                    session_id=session.session_id,
                 )
+                if ticket is not None and ticket.degraded:
+                    # marked before the drain so the degraded flag is
+                    # on the outcome when the engine settles its
+                    # query-log entry, not patched on after
+                    handle.mark_degraded()
+                outcome = handle.result()
             failed = False
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             self._note_failure(session, query, exc)
@@ -367,12 +409,11 @@ class SciBorqServer:
         finally:
             if ticket is not None:
                 self.admission.release(ticket, failed=failed)
-        if ticket is not None and ticket.degraded:
-            outcome.degraded = True
         session._record(query, outcome)
         with self._admin_lock:
             self._queries_served += 1
         self._govern_memory()
+        self._mine_intelligence()
         return outcome
 
     def _shutdown_rejection(
@@ -425,6 +466,7 @@ class SciBorqServer:
             ticket, contract = self.admission.admit(
                 session, query, contract, kind="pool"
             )
+        session.query_log.record(query)
         handle = self.engine.submit(
             query,
             contract,
@@ -435,6 +477,7 @@ class SciBorqServer:
                 observers=(session.clock,),
                 shared_scans=session.shared_scans,
             ),
+            session_id=session.session_id,
         )
         if ticket is not None and ticket.degraded:
             handle.mark_degraded()
@@ -552,6 +595,7 @@ class SciBorqServer:
             with self._admin_lock:
                 self._queries_served += 1
             self._govern_memory()
+            self._mine_intelligence()
             return False
         finally:
             with self._admin_lock:
@@ -681,17 +725,22 @@ class SciBorqServer:
         """
         self._require_open()
         session._require_open()
+        # recorded at submission time, like every other query path, so
+        # the per-session log is a uniform submission record
+        session.query_log.record(query)
         with self._rwlock.read_locked():
             context = ExecutionContext(
                 clock=self.engine.clock,
                 observers=(session.clock,),
                 shared_scans=session.shared_scans,
             )
-            result = self.engine.execute_exact(query, context=context)
-        session.query_log.record(query)
+            result = self.engine.execute_exact(
+                query, context=context, session_id=session.session_id
+            )
         with self._admin_lock:
             self._queries_served += 1
         self._govern_memory()
+        self._mine_intelligence()
         return result
 
     def _govern_memory(self) -> None:
@@ -706,6 +755,39 @@ class SciBorqServer:
             return
         with self._rwlock.write_locked():
             self.engine.enforce_memory()
+
+    def _mine_intelligence(self) -> None:
+        """Post-query mining pass, plus prewarming on its cadence.
+
+        Mining only reads the engine (a locked query-log snapshot), so
+        it runs without the read-write lock and never delays admitted
+        queries.  Prewarming mutates shared caches and block tiers, so
+        it takes the write lock — the governor's discipline — and only
+        fires every ``prewarm_every`` mined queries.
+        """
+        service = self.intelligence
+        if service is None or self._closed:
+            return
+        service.mine(self.engine)
+        if service.should_prewarm():
+            with self._rwlock.write_locked():
+                service.prewarm(self.engine)
+            self._govern_memory()
+
+    def recommend(self, session: Session, query: Query):
+        """Mined ladder advice for ``query``'s sky region, or ``None``.
+
+        Surfaces the collaborative escalation profile — how many
+        settled queries the region has, how far they climbed, what
+        error and cost they achieved — without running anything.
+        ``None`` without an intelligence service or below the
+        service's ``min_support``.
+        """
+        self._require_open()
+        session._require_open()
+        if self.intelligence is None:
+            return None
+        return self.intelligence.recommend(query)
 
     # ------------------------------------------------------------------
     # lifecycle + introspection
@@ -838,6 +920,11 @@ class SciBorqServer:
             and self.engine.memory_governor is self.memory_governor
         ):
             self.engine.set_memory_governor(self._previous_governor)
+        if (
+            self.intelligence is not None
+            and self.engine.intelligence is self.intelligence
+        ):
+            self.engine.set_intelligence(self._previous_intelligence)
         return ShutdownReport(
             drained=drained, cancelled=cancelled, evicted=evicted
         )
@@ -884,6 +971,8 @@ class SciBorqServer:
                 f"demotions warm/cold {stats.demotions_warm}/"
                 f"{stats.demotions_cold}, promotions {stats.promotions}"
             )
+        if self.intelligence is not None:
+            lines.append(f"  {self.intelligence.describe()}")
         return "\n".join(lines)
 
     def __enter__(self) -> "SciBorqServer":

@@ -310,11 +310,27 @@ class Session:
                 results.append(exc.rejection)
         return results
 
+    def recommend(self, query: Query):
+        """Mined ladder advice for ``query``'s sky region, or ``None``.
+
+        The collaborative read-out of the server's workload
+        intelligence: how many settled queries this region of the sky
+        has, how far up the ladder they climbed, and what error/cost
+        they achieved — a preview before committing to a contract.
+        Requires the server to be constructed with ``intelligence=``;
+        returns ``None`` otherwise (or below the mined support
+        threshold).
+        """
+        self._require_open()
+        return self._server.recommend(self, query)
+
     # ------------------------------------------------------------------
     # bookkeeping (called by the server)
     # ------------------------------------------------------------------
     def _record(self, query: Query, outcome: BoundedResult) -> None:
-        self.query_log.record(query)
+        # query_log is recorded by the server at *submission* time —
+        # uniformly across execute/submit/execute_exact — so only the
+        # outcome history lands here
         with self._history_lock:
             self._history.append(outcome)
 

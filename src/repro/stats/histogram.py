@@ -21,6 +21,21 @@ import numpy as np
 from repro.util.validation import require, require_positive
 
 
+def age_counts(counts: np.ndarray, factor: float) -> np.ndarray:
+    """Exponentially age an integer count array (shared machinery).
+
+    Every count structure that adapts to workload drift — the Figure-5
+    predicate histograms, the 2-D interest grids, and the mined
+    region-popularity model — ages the same way: multiply by a factor
+    in (0, 1] and floor back to integers, so stale evidence decays
+    geometrically while small counts eventually reach exactly zero
+    (a bin the workload abandoned really empties out).
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"decay factor must be in (0, 1], got {factor}")
+    return np.floor(np.asarray(counts) * factor).astype(np.int64)
+
+
 class PredicateHistogram:
     """Streaming per-bin count and mean over a fixed domain (Figure 5).
 
@@ -134,9 +149,7 @@ class PredicateHistogram:
         per-bin means stay valid — a mean is unaffected by scaling the
         weight of all its contributors equally.
         """
-        if not 0.0 < factor <= 1.0:
-            raise ValueError(f"decay factor must be in (0, 1], got {factor}")
-        decayed = np.floor(self.counts * factor).astype(np.int64)
+        decayed = age_counts(self.counts, factor)
         self.total = int(decayed.sum())
         self.counts = decayed
 
@@ -217,6 +230,12 @@ class EquiWidthHistogram:
     def density(self) -> np.ndarray:
         """Counts normalised to a piecewise-constant density."""
         return self.proportions() / self.width
+
+    def decay(self, factor: float) -> None:
+        """Exponentially age the counts (same machinery as Figure 5)."""
+        decayed = age_counts(self.counts, factor)
+        self.total = int(decayed.sum())
+        self.counts = decayed
 
     def total_variation_distance(self, other: "EquiWidthHistogram") -> float:
         """TV distance between two histograms' bin proportions.

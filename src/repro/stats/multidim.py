@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.stats.histogram import age_counts
 from repro.stats.kde import GaussianKernel, Kernel
 from repro.util.validation import require, require_positive
 
@@ -122,9 +123,7 @@ class Grid2DHistogram:
 
     def decay(self, factor: float) -> None:
         """Exponentially age cell counts, as the 1-D histogram does."""
-        if not 0.0 < factor <= 1.0:
-            raise ValueError(f"decay factor must be in (0, 1], got {factor}")
-        decayed = np.floor(self.counts * factor).astype(np.int64)
+        decayed = age_counts(self.counts, factor)
         self.total = int(decayed.sum())
         self.counts = decayed
 

@@ -14,7 +14,7 @@
    triggering decay/refocus (paper §3.1 "Adaptive").
 """
 
-from repro.workload.log import QueryLog, QueryLogEntry
+from repro.workload.log import QueryLog, QueryLogEntry, QueryOutcome
 from repro.workload.predicates import PredicateSetCollector
 from repro.workload.interest import (
     AttributeInterest,
@@ -22,13 +22,24 @@ from repro.workload.interest import (
     InterestModel,
 )
 from repro.workload.drift import DriftDetector
+from repro.workload.intelligence import (
+    HotRegion,
+    LadderRecommendation,
+    RegionPopularityModel,
+    WorkloadMiner,
+)
 
 __all__ = [
     "QueryLog",
     "QueryLogEntry",
+    "QueryOutcome",
     "PredicateSetCollector",
     "AttributeInterest",
     "CoupledInterest",
     "InterestModel",
     "DriftDetector",
+    "HotRegion",
+    "LadderRecommendation",
+    "RegionPopularityModel",
+    "WorkloadMiner",
 ]

@@ -147,6 +147,20 @@ class InterestModel:
         for attribute in self._attributes.values():
             attribute.decay(factor)
 
+    def decay_attribute(self, attribute: str, factor: float) -> bool:
+        """Age one attribute's histogram only (scoped drift reaction).
+
+        When drift is detected on a single attribute there is no
+        reason to forget the others' focal points; the maintenance
+        planner scopes its decay to the drifting attributes.  Returns
+        whether the attribute had an interest model.
+        """
+        interest = self._attributes.get(attribute)
+        if interest is None:
+            return False
+        interest.decay(factor)
+        return True
+
     # ------------------------------------------------------------------
     # sampling side
     # ------------------------------------------------------------------

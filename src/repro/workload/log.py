@@ -6,29 +6,64 @@ engine executes together with a monotone sequence number, so interest
 models and drift detectors can be (re)built over any window — "a query
 workload ... is defined over a period of time or over a predefined
 number of queries" (§4).
+
+Entries are recorded at *submission* (the workload model sees intent)
+and — for executions the engine settles — enriched at *completion*
+with a :class:`QueryOutcome`: tuples charged, rungs climbed, achieved
+error, wall seconds, session id, degraded flag.  That settled feed is
+what the fleet-wide workload miner
+(:mod:`repro.workload.intelligence`) learns escalation behaviour from.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import Counter
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Sequence
 
 from repro.columnstore.query import Query
 
 
 @dataclass(frozen=True)
+class QueryOutcome:
+    """What one logged query's execution actually did, at settle time."""
+
+    #: Cost units this execution charged (tuples touched / wall secs).
+    tuples_charged: float
+    #: Ladder rungs executed (1 = answered on the first attempt).
+    rungs_climbed: int
+    #: Worst relative error of the returned answer (inf: unanswered).
+    achieved_error: float
+    #: Wall-clock seconds from submission to settlement.
+    wall_seconds: float
+    #: Owning server session, when the server drove the execution.
+    session_id: Optional[int] = None
+    #: Whether admission control coarsened the contract.
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
 class QueryLogEntry:
-    """One logged query with its position in the stream."""
+    """One logged query with its position in the stream.
+
+    ``outcome`` is ``None`` until (unless) the execution settles —
+    the original two-field construction keeps working.
+    """
 
     sequence: int
     query: Query
+    outcome: Optional[QueryOutcome] = None
 
     @property
     def fingerprint(self) -> str:
         """The query's canonical identity string."""
         return self.query.fingerprint()
+
+    @property
+    def settled(self) -> bool:
+        """Whether outcome metadata was recorded for this entry."""
+        return self.outcome is not None
 
 
 class QueryLog:
@@ -63,12 +98,46 @@ class QueryLog:
                 del self._entries[: len(self._entries) - self.max_entries]
             return entry
 
+    def settle(
+        self, sequence: int, outcome: QueryOutcome
+    ) -> Optional[QueryLogEntry]:
+        """Attach outcome metadata to the entry with ``sequence``.
+
+        Returns the settled entry, or ``None`` when the window already
+        evicted it (a completion racing a busy bounded log is normal,
+        not an error).  Settling twice keeps the first outcome — a
+        cancelled handle and its drain both finalise exactly once, but
+        the log defends itself anyway.
+        """
+        with self._lock:
+            offset = sequence - (self._next_sequence - len(self._entries))
+            if offset < 0 or offset >= len(self._entries):
+                return None
+            entry = self._entries[offset]
+            if entry.sequence != sequence:  # pragma: no cover - invariant
+                return None
+            if entry.outcome is not None:
+                return entry
+            settled = replace(entry, outcome=outcome)
+            self._entries[offset] = settled
+            return settled
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[QueryLogEntry]:
         return iter(self._entries)
+
+    def snapshot(self) -> Sequence[QueryLogEntry]:
+        """A consistent copy of the current window (lock-protected).
+
+        Plain iteration reads the live list; concurrent miners must
+        use this so a racing ``record``/``settle`` never tears the
+        walk.
+        """
+        with self._lock:
+            return tuple(self._entries)
 
     @property
     def total_recorded(self) -> int:
@@ -83,9 +152,10 @@ class QueryLog:
 
     def since(self, sequence: int) -> Sequence[QueryLogEntry]:
         """Entries with sequence number ≥ ``sequence``."""
-        return tuple(e for e in self._entries if e.sequence >= sequence)
+        with self._lock:
+            return tuple(e for e in self._entries if e.sequence >= sequence)
 
     def most_common_fingerprints(self, count: int = 10) -> list[tuple[str, int]]:
         """The most repeated query shapes (workload hot spots)."""
-        counter = Counter(entry.fingerprint for entry in self._entries)
+        counter = Counter(entry.fingerprint for entry in self.snapshot())
         return counter.most_common(count)

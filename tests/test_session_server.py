@@ -123,6 +123,41 @@ class TestCrossSessionIsolation:
             # the shared engine log feeds the global interest model
             assert len(server.engine.query_log) == 3
 
+    def test_every_query_path_records_in_the_session_log(self):
+        """The unification regression: execute, submit, and
+        execute_exact all record into ``session.query_log`` (at
+        submission time), not just the exact path."""
+        with SciBorqServer(make_engine(), max_workers=2) as server:
+            session = server.open_session("all-paths")
+            session.execute(cone(150.0, 5.0), max_relative_error=0.5)
+            session.submit(cone(160.0, 5.0)).result()
+            server.execute_exact(session, cone(170.0, 5.0))
+            assert len(session.query_log) == 3
+            assert len(server.engine.query_log) == 3
+
+    def test_engine_log_settles_with_session_outcomes(self):
+        """Server-driven executions settle their engine-log entries
+        with outcome metadata carrying the owning session's id."""
+        with SciBorqServer(make_engine(), max_workers=2) as server:
+            alice = server.open_session("alice")
+            outcome = alice.execute(cone(150.0, 5.0), max_relative_error=0.5)
+            alice.submit(cone(160.0, 5.0)).result()
+            server.execute_exact(alice, cone(170.0, 5.0))
+            entries = server.engine.query_log.snapshot()
+            assert len(entries) == 3
+            assert all(e.settled for e in entries)
+            assert all(
+                e.outcome.session_id == alice.session_id for e in entries
+            )
+            blocking = entries[0].outcome
+            assert blocking.tuples_charged == outcome.total_cost
+            assert blocking.rungs_climbed == len(outcome.attempts)
+            assert blocking.wall_seconds >= 0.0
+            assert not blocking.degraded
+            exact = entries[2].outcome
+            assert exact.rungs_climbed == 1
+            assert exact.achieved_error == 0.0
+
 
 class TestSessionLifecycle:
     def test_session_defaults_and_overrides(self):

@@ -1,0 +1,593 @@
+"""Tests for collaborative workload intelligence.
+
+The load-bearing property — pinned with hypothesis — is the identity
+guarantee: mining, prewarming, and popularity-weighted maintenance are
+*pure caching / scheduling* and never change what any query computes
+or is charged.  A prewarmed engine and a cold engine running the same
+seeded workload must produce byte-identical estimates, confidence
+intervals, and charged units.  Everything else (miner determinism,
+persistence round-trips, budget allocation, governor heat, rung
+advice) supports that guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore import AggregateSpec, Query
+from repro.columnstore.expressions import Between, RadialPredicate
+from repro.core.contracts import Contract
+from repro.core.engine import SciBorq
+from repro.core.intelligence import WorkloadIntelligenceService
+from repro.core.persistence import load_intelligence, save_intelligence
+from repro.core.server import SciBorqServer
+from repro.errors import ImpressionError
+from repro.skyserver.generator import SkyGenerator, build_skyserver
+from repro.skyserver.schema import DEC_RANGE, RA_RANGE, create_skyserver_catalog
+from repro.skyserver.workload_gen import FocalPoint, WorkloadGenerator
+from repro.workload.intelligence import (
+    RegionPopularityModel,
+    WorkloadMiner,
+    paired_coordinates,
+)
+from repro.workload.log import QueryLog, QueryOutcome
+
+
+def make_engine(seed: int = 701) -> SciBorq:
+    engine = SciBorq(
+        create_skyserver_catalog(),
+        interest_attributes={"ra": RA_RANGE, "dec": DEC_RANGE},
+        rng=seed,
+    )
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="uniform", layer_sizes=(5_000, 500)
+    )
+    build_skyserver(
+        30_000, generator=SkyGenerator(rng=seed + 1), loader=engine.loader
+    )
+    return engine
+
+
+def cone(ra: float, dec: float, radius: float) -> Query:
+    return Query(
+        table="PhotoObjAll",
+        predicate=RadialPredicate("ra", "dec", ra, dec, radius),
+        aggregates=[AggregateSpec("count"), AggregateSpec("avg", "r_mag")],
+    )
+
+
+def _same(a: float, b: float) -> bool:
+    """Bit-for-bit float equality that treats NaN == NaN."""
+    return a == b or (np.isnan(a) and np.isnan(b))
+
+
+def small_model(bins: int = 8) -> RegionPopularityModel:
+    return RegionPopularityModel("ra", "dec", (0.0, 360.0), (-90.0, 90.0), bins)
+
+
+def seeded_log(count: int = 40, seed: int = 5) -> QueryLog:
+    generator = WorkloadGenerator(
+        focal_points=[FocalPoint(ra=180.0, dec=0.0, spread_ra=4.0)],
+        rng=seed,
+    )
+    log = QueryLog()
+    for i, query in enumerate(generator.queries(count)):
+        entry = log.record(query)
+        log.settle(
+            entry.sequence,
+            QueryOutcome(
+                tuples_charged=100.0 + i,
+                rungs_climbed=1 + i % 3,
+                achieved_error=0.01 * (i % 5),
+                wall_seconds=0.01,
+                session_id=i % 2,
+            ),
+        )
+    return log
+
+
+# ----------------------------------------------------------------------
+# RegionPopularityModel
+# ----------------------------------------------------------------------
+class TestModel:
+    def test_observe_accumulates_popularity_and_profile(self):
+        model = small_model()
+        log = seeded_log(30)
+        for entry in log.snapshot():
+            model.observe_entry(entry)
+        assert model.total > 0
+        assert model.table_counts["PhotoObjAll"] == 30
+        assert model.counts.sum() == model.total
+        assert model.settled.sum() > 0
+        # the focal cell dominates
+        hot = model.hot_cells(1)[0]
+        assert hot.contains(180.0, 0.0) or hot.share > 0.1
+
+    def test_unpaired_queries_count_tables_but_not_cells(self):
+        model = small_model()
+        log = QueryLog()
+        entry = log.record(
+            Query(
+                table="PhotoObjAll",
+                predicate=Between("r_mag", 15.0, 16.0),
+                aggregates=[AggregateSpec("count")],
+            )
+        )
+        model.observe_entry(entry)
+        assert model.total == 0
+        assert model.table_counts["PhotoObjAll"] == 1
+
+    def test_hot_cells_deterministic_under_ties(self):
+        model = small_model()
+        model.counts[1, 2] = 5
+        model.counts[3, 4] = 5
+        model.total = 10
+        first = model.hot_cells(2)
+        again = model.hot_cells(2)
+        assert first == again
+        # ties broken by flat cell index, ascending
+        assert (first[0].x_lo, first[0].y_lo) < (first[1].x_lo, first[1].y_lo)
+
+    def test_decay_cools_abandoned_regions(self):
+        model = small_model()
+        log = seeded_log(20)
+        for entry in log.snapshot():
+            model.observe_entry(entry)
+        before = model.counts.sum()
+        model.decay(0.5)
+        assert 0 < model.counts.sum() < before
+        assert model.total == model.counts.sum()
+        for _ in range(20):
+            model.decay(0.1)
+        assert model.total == 0
+        assert model.hot_cells(4) == []
+        assert model.table_counts == {}
+
+    def test_recommendation_requires_support(self):
+        model = small_model()
+        log = seeded_log(40)
+        for entry in log.snapshot():
+            model.observe_entry(entry)
+        assert model.recommendation_at(0.0, -89.0, min_support=3) is None
+        rec = model.recommendation_at(180.0, 0.0, min_support=3)
+        assert rec is not None
+        assert rec.support >= 3
+        assert 1.0 <= rec.mean_rungs <= 3.0
+        assert rec.expected_cost > 0
+        assert rec.suggested_skip == max(0, int(np.floor(rec.mean_rungs)) - 1)
+        assert "settled queries" in rec.describe()
+
+    def test_table_share(self):
+        model = small_model()
+        model.table_counts = {"a": 3, "b": 1}
+        assert model.table_share("a") == pytest.approx(0.75)
+        assert model.table_share("missing") == 0.0
+
+    def test_paired_coordinates_positional(self):
+        query = cone(120.0, 30.0, 2.0)
+        assert paired_coordinates(query, "ra", "dec") == [(120.0, 30.0)]
+        assert paired_coordinates(query, "ra", "mjd") == []
+
+
+# ----------------------------------------------------------------------
+# WorkloadMiner: determinism + incrementality
+# ----------------------------------------------------------------------
+class TestMiner:
+    def test_mining_is_deterministic(self):
+        """Same seeded workload → bit-identical model, however batched."""
+        log = seeded_log(60, seed=9)
+        one_shot = WorkloadMiner(small_model(), decay_every=25)
+        one_shot.mine(log)
+        batched = WorkloadMiner(small_model(), decay_every=25)
+        entries = log.snapshot()
+        for start in range(0, len(entries), 7):
+            batched.mine_entries(entries[start : start + 7])
+        for name, array in one_shot.model.state_arrays().items():
+            np.testing.assert_array_equal(
+                array, batched.model.state_arrays()[name], err_msg=name
+            )
+        assert one_shot.model.total == batched.model.total
+        assert one_shot.next_sequence == batched.next_sequence
+
+    def test_entries_are_mined_exactly_once(self):
+        log = seeded_log(10)
+        miner = WorkloadMiner(small_model())
+        assert miner.mine(log) == 10
+        assert miner.mine(log) == 0
+        assert miner.model.table_counts["PhotoObjAll"] == 10
+
+    def test_decay_fires_on_cadence(self):
+        log = seeded_log(30)
+        miner = WorkloadMiner(small_model(), decay_factor=0.5, decay_every=10)
+        miner.mine(log)
+        # three aging passes happened: totals are well under 30 points
+        assert miner.model.counts.sum() < 30
+
+
+# ----------------------------------------------------------------------
+# Persistence round-trip
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        model = small_model()
+        miner = WorkloadMiner(model)
+        miner.mine(seeded_log(40))
+        service = WorkloadIntelligenceService(model=model)
+        path = save_intelligence(service, tmp_path / "intel")
+        assert path.suffix == ".npz"
+        loaded = load_intelligence(path)
+        for name, array in model.state_arrays().items():
+            np.testing.assert_array_equal(
+                array, loaded.state_arrays()[name], err_msg=name
+            )
+        assert loaded.total == model.total
+        assert loaded.table_counts == model.table_counts
+        assert loaded.hot_cells(4) == model.hot_cells(4)
+        assert loaded.popularity(180.0, 0.0) == model.popularity(180.0, 0.0)
+        rec = model.recommendation_at(180.0, 0.0, min_support=1)
+        rec_loaded = loaded.recommendation_at(180.0, 0.0, min_support=1)
+        assert rec == rec_loaded
+
+    def test_bare_model_round_trips_too(self, tmp_path):
+        model = small_model()
+        WorkloadMiner(model).mine(seeded_log(10))
+        path = save_intelligence(model, tmp_path / "bare")
+        loaded = load_intelligence(path)
+        assert loaded.total == model.total
+
+    def test_wrong_kind_is_rejected(self, tmp_path):
+        from repro.core.persistence import save_hierarchy
+
+        engine = make_engine()
+        path = save_hierarchy(
+            engine.hierarchy("PhotoObjAll"), tmp_path / "layers"
+        )
+        with pytest.raises(ImpressionError, match="workload-intelligence"):
+            load_intelligence(path)
+
+    def test_service_resumes_mining_from_loaded_model(self, tmp_path):
+        model = small_model()
+        WorkloadMiner(model).mine(seeded_log(10))
+        path = save_intelligence(model, tmp_path / "resume")
+        service = WorkloadIntelligenceService(model=load_intelligence(path))
+        assert service.model.total == model.total
+        assert service.miner is not None
+
+
+# ----------------------------------------------------------------------
+# The identity property: intelligence never changes answers
+# ----------------------------------------------------------------------
+class TestIdentity:
+    @pytest.fixture(scope="class")
+    def engine_pair(self):
+        """A cold engine and an intelligence-equipped twin, trained on
+        the same seeded workload."""
+        cold = make_engine()
+        warm = make_engine()
+        service = WorkloadIntelligenceService(
+            bins=12, hot_cells=4, prewarm_every=8
+        )
+        warm.set_intelligence(service)
+        generator = WorkloadGenerator(
+            focal_points=[FocalPoint(ra=185.0, dec=0.0, spread_ra=3.0)],
+            cone_fraction=1.0,
+            aggregate_fraction=1.0,
+            rng=31,
+        )
+        for query in generator.queries(24):
+            cold.execute(query, Contract.within_error(0.3))
+            warm.execute(query, Contract.within_error(0.3))
+        warm.mine_workload()
+        warm.prewarm()
+        return cold, warm
+
+    @given(
+        ra=st.floats(120.0, 250.0),
+        dec=st.floats(-20.0, 20.0),
+        radius=st.floats(1.0, 6.0),
+        error=st.floats(0.05, 0.8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prewarmed_engine_answers_byte_identically(
+        self, engine_pair, ra, dec, radius, error
+    ):
+        cold, warm = engine_pair
+        query = cone(ra, dec, radius)
+        a = cold.execute(query, Contract.within_error(error))
+        b = warm.execute(query, Contract.within_error(error))
+        assert a.total_cost == b.total_cost
+        assert len(a.attempts) == len(b.attempts)
+        assert set(a.result.estimates) == set(b.result.estimates)
+        for name, estimate in a.result.estimates.items():
+            other = b.result.estimates[name]
+            # bit-identical, treating NaN (an empty cone's avg) as equal
+            assert _same(estimate.value, other.value), name
+            assert _same(estimate.se, other.se), name
+            assert np.array_equal(
+                np.asarray(estimate.ci, dtype=float),
+                np.asarray(other.ci, dtype=float),
+                equal_nan=True,
+            ), name
+
+    def test_maintenance_reaction_is_identical_single_table(self, engine_pair):
+        """With one mined table the popularity budget equals the full
+        need, so drift reactions refresh exactly as a cold engine's."""
+        cold, warm = engine_pair
+        drift = WorkloadGenerator(
+            focal_points=[FocalPoint(ra=40.0, dec=-30.0, spread_ra=2.0)],
+            cone_fraction=1.0,
+            aggregate_fraction=1.0,
+            rng=77,
+        )
+        for query in drift.queries(40):
+            cold.execute(query, Contract.within_error(0.5))
+            warm.execute(query, Contract.within_error(0.5))
+        warm.mine_workload()
+        cold_reports = cold.maintain()
+        warm_reports = warm.maintain()
+        assert cold_reports.keys() == warm_reports.keys()
+        for table in cold_reports:
+            assert [
+                (r.target, r.source, r.tuples_streamed)
+                for r in cold_reports[table]
+            ] == [
+                (r.target, r.source, r.tuples_streamed)
+                for r in warm_reports[table]
+            ]
+        probe = cone(40.0, -30.0, 3.0)
+        a = cold.execute(probe, Contract.within_error(0.3))
+        b = warm.execute(probe, Contract.within_error(0.3))
+        assert a.total_cost == b.total_cost
+        for name, estimate in a.result.estimates.items():
+            assert _same(estimate.value, b.result.estimates[name].value), name
+
+
+# ----------------------------------------------------------------------
+# Popularity-weighted maintenance budgets
+# ----------------------------------------------------------------------
+def two_table_engine() -> SciBorq:
+    """PhotoObjAll (5 000-row reflex layer) plus Photoz (400-row)."""
+    engine = SciBorq(
+        create_skyserver_catalog(),
+        interest_attributes={"ra": RA_RANGE, "dec": DEC_RANGE},
+        rng=701,
+    )
+    engine.create_hierarchy(
+        "PhotoObjAll", policy="uniform", layer_sizes=(5_000, 500)
+    )
+    engine.create_hierarchy("Photoz", policy="uniform", layer_sizes=(400, 50))
+    build_skyserver(
+        30_000, generator=SkyGenerator(rng=702), loader=engine.loader
+    )
+    return engine
+
+
+def force_ra_drift(engine: SciBorq) -> None:
+    """Push the ra detector's recent window far from its history."""
+    detector = engine.planner.detectors["ra"]
+    rng = np.random.default_rng(3)
+    detector.observe(rng.uniform(100.0, 110.0, 400))
+    detector.observe(rng.uniform(300.0, 310.0, 200))
+    assert detector.drifted
+
+
+class TestBudgetedMaintenance:
+    def test_unpopular_table_gets_partial_refresh(self):
+        """Two hierarchies, one mined 9× more popular: the unpopular
+        table's budget no longer affords its refresh pair."""
+        engine = two_table_engine()
+        service = WorkloadIntelligenceService(bins=8)
+        engine.set_intelligence(service)
+        service.model.table_counts = {"PhotoObjAll": 90, "Photoz": 10}
+        force_ra_drift(engine)
+        reports = engine.maintain()
+        # popular table: full refresh (the one reflex→upper pair)
+        assert len(reports["PhotoObjAll"]) == 1
+        assert reports["PhotoObjAll"][0].tuples_streamed == 5_000
+        # unpopular table: budget = 400 × (10/90) ≈ 44 tuples — the
+        # 400-row lower pair no longer fits, nothing refreshable
+        assert reports["Photoz"] == []
+
+    def test_without_intelligence_everything_refreshes_in_full(self):
+        engine = two_table_engine()
+        force_ra_drift(engine)
+        reports = engine.maintain()
+        assert len(reports["PhotoObjAll"]) == 1
+        assert len(reports["Photoz"]) == 1
+        assert reports["Photoz"][0].tuples_streamed == 400
+
+    def test_scoped_decay_spares_stable_attributes(self):
+        engine = make_engine()
+        rng = np.random.default_rng(4)
+        # both attributes accumulate interest
+        engine.interest.observe_values("ra", rng.uniform(100, 200, 300))
+        engine.interest.observe_values("dec", rng.uniform(-30, 30, 300))
+        ra_before = engine.interest.interest_for("ra").histogram.total
+        dec_before = engine.interest.interest_for("dec").histogram.total
+        force_ra_drift(engine)  # only ra drifts
+        engine.maintain()
+        ra_total = engine.interest.interest_for("ra").histogram.total
+        dec_total = engine.interest.interest_for("dec").histogram.total
+        assert ra_total < ra_before  # decayed
+        assert dec_total == dec_before  # untouched
+
+
+# ----------------------------------------------------------------------
+# Governor heat
+# ----------------------------------------------------------------------
+BS = 64  # small blocks so the fact table has many demotable blocks
+
+
+def blocked_engine(n: int = 6 * BS, seed: int = 3) -> SciBorq:
+    """The tiered-storage test fixture: a fact table of full blocks."""
+    from repro.columnstore import Catalog, Table
+    from repro.columnstore.column import Column
+
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "fact",
+            [
+                Column("id", "int64", block_size=BS),
+                Column("x", "float64", block_size=BS),
+                Column("y", "float64", block_size=BS),
+            ],
+        )
+    )
+    engine = SciBorq(catalog, interest_attributes={"x": (0.0, 600.0)}, rng=17)
+    engine.create_hierarchy("fact", policy="uniform", layer_sizes=(64,))
+    rng = np.random.default_rng(seed)
+    engine.loader.load_batch(
+        "fact",
+        {
+            "id": np.arange(n),
+            "x": np.sort(rng.uniform(0.0, 600.0, n)),
+            "y": rng.normal(10.0, 2.0, n),
+        },
+    )
+    return engine
+
+
+class TestGovernorHeat:
+    def test_predicted_hot_blocks_demote_last(self):
+        from repro.core.governor import MemoryGovernor
+
+        engine = blocked_engine()
+        table = engine.catalog.table("fact")
+        governor = MemoryGovernor(
+            int(engine.memory_report()["ram_total"]) - 2_000
+        )
+        governor.set_heat_source(
+            lambda table_name, block: 1.0 if block == 0 else 0.0
+        )
+        engine.set_memory_governor(governor)
+        stats = governor.stats
+        assert stats.demotions_warm + stats.demotions_cold > 0
+        # heat leads the eviction order: the predicted-hot first block
+        # of every column survives while cold-heat blocks demote
+        for name in table.column_names:
+            assert table.column(name).tier_of(0) == "hot", name
+
+    def test_predicted_hot_blocks_promote_without_a_scan(self):
+        from repro.core.governor import MemoryGovernor
+
+        engine = blocked_engine()
+        table = engine.catalog.table("fact")
+        governor = MemoryGovernor(1)  # demote everything demotable
+        engine.set_memory_governor(governor)
+        assert not table.is_fully_hot
+        assert table.column("x").tier_of(0) != "hot"
+        governor.set_heat_source(
+            lambda table_name, block: 1.0 if block == 0 else 0.0
+        )
+        governor.budget_bytes = 64 << 20
+        engine.enforce_memory()
+        # block 0 came back hot on prediction alone — it was never
+        # scanned after demotion — while unscanned cold-heat blocks stay
+        # demoted (pure LRU would have promoted nothing here)
+        assert table.column("x").tier_of(0) == "hot"
+        assert table.column("x").tier_of(1) != "hot"
+        assert governor.stats.promotions > 0
+
+    def test_without_heat_source_unscanned_blocks_stay_down(self):
+        """Pure-LRU regression: no predictor → no prediction promotes."""
+        from repro.core.governor import MemoryGovernor
+
+        engine = blocked_engine()
+        governor = MemoryGovernor(1)
+        engine.set_memory_governor(governor)
+        governor.budget_bytes = 64 << 20
+        engine.enforce_memory()
+        assert governor.stats.promotions == 0
+
+    def test_broken_heat_source_never_stops_eviction(self):
+        from repro.core.governor import MemoryGovernor
+
+        engine = blocked_engine()
+
+        def broken(table_name: str, block: int) -> float:
+            raise RuntimeError("predictor crashed")
+
+        governor = MemoryGovernor(
+            int(engine.memory_report()["ram_total"]) - 1_000
+        )
+        governor.set_heat_source(broken)
+        engine.set_memory_governor(governor)
+        assert governor.stats.demotions_warm + governor.stats.demotions_cold
+        assert governor.stats.last_footprint <= governor.budget_bytes
+
+
+# ----------------------------------------------------------------------
+# The service on a live server
+# ----------------------------------------------------------------------
+class TestServerIntegration:
+    def test_server_mines_and_prewarms_on_cadence(self):
+        service = WorkloadIntelligenceService(
+            bins=12, hot_cells=2, prewarm_every=6, min_support=2
+        )
+        with SciBorqServer(
+            make_engine(), max_workers=2, intelligence=service
+        ) as server:
+            session = server.open_session("astronomer")
+            generator = WorkloadGenerator(
+                focal_points=[FocalPoint(ra=185.0, dec=0.0, spread_ra=2.0)],
+                cone_fraction=1.0,
+                aggregate_fraction=1.0,
+                rng=13,
+            )
+            for query in generator.queries(14):
+                session.execute(query, max_relative_error=0.4)
+            assert service.queries_mined == 14
+            assert service.prewarm_passes >= 1
+            assert "workload intelligence" in server.summary()
+            assert "workload intelligence" in server.engine.summary()
+            # the hot-region hit-rate is scored on post-prewarm arrivals
+            assert service.prewarm_hit_rate is None or (
+                0.0 <= service.prewarm_hit_rate <= 1.0
+            )
+            recommendation = session.recommend(cone(185.0, 0.0, 2.0))
+            assert recommendation is not None
+            assert recommendation.support >= 2
+            assert session.recommend(cone(20.0, -80.0, 1.0)) is None
+        # shutdown restored the engine's previous (absent) service
+        assert server.engine.intelligence is None
+
+    def test_intelligence_true_builds_default_service(self):
+        with SciBorqServer(make_engine(), intelligence=True) as server:
+            assert server.intelligence is not None
+            assert server.engine.intelligence is server.intelligence
+
+    def test_rung_advice_is_opt_in(self):
+        engine = make_engine()
+        service = WorkloadIntelligenceService(bins=8, min_support=1)
+        engine.set_intelligence(service)
+        # plant a mined profile that says "rung 3 on average"
+        cell = service.model.cell_of(185.0, 0.0)
+        service.model.settled[cell] = 10
+        service.model.rungs_sum[cell] = 30.0
+        ladder = [1, 2, 3]
+        assert service.initial_rung(cone(185.0, 0.0, 2.0), ladder) == 0
+        service.advise_rungs = True
+        skip = service.initial_rung(cone(185.0, 0.0, 2.0), ladder)
+        assert skip == 2  # floor(3.0) - 1
+        assert service._recommendations_followed == 1
+
+    def test_advisor_never_skips_the_whole_ladder(self):
+        service = WorkloadIntelligenceService(
+            bins=8, min_support=1, advise_rungs=True
+        )
+        service.model = RegionPopularityModel(
+            "ra", "dec", (0.0, 360.0), (-90.0, 90.0), 8
+        )
+        cell = service.model.cell_of(185.0, 0.0)
+        service.model.settled[cell] = 10
+        service.model.rungs_sum[cell] = 90.0  # absurd mined mean
+        assert service.initial_rung(cone(185.0, 0.0, 2.0), [1, 2]) <= 1
+
+    def test_unbound_service_raises_with_guidance(self):
+        service = WorkloadIntelligenceService()
+        with pytest.raises(ImpressionError, match="set_intelligence"):
+            service.mine(make_engine())

@@ -4,7 +4,7 @@ import pytest
 
 from repro.columnstore.expressions import Between
 from repro.columnstore.query import Query
-from repro.workload.log import QueryLog
+from repro.workload.log import QueryLog, QueryLogEntry, QueryOutcome
 
 
 def make_query(lo: float) -> Query:
@@ -70,3 +70,56 @@ class TestQueries:
         (top_fp, top_count), *_ = log.most_common_fingerprints(2)
         assert top_count == 3
         assert top_fp == make_query(1).fingerprint()
+
+
+def make_outcome(**overrides) -> QueryOutcome:
+    fields = dict(
+        tuples_charged=120.0,
+        rungs_climbed=2,
+        achieved_error=0.03,
+        wall_seconds=0.5,
+        session_id=7,
+        degraded=False,
+    )
+    fields.update(overrides)
+    return QueryOutcome(**fields)
+
+
+class TestOutcomes:
+    def test_two_field_construction_still_works(self):
+        entry = QueryLogEntry(0, make_query(1))
+        assert entry.outcome is None
+        assert not entry.settled
+
+    def test_settle_attaches_outcome(self):
+        log = QueryLog()
+        entry = log.record(make_query(1))
+        assert not entry.settled
+        settled = log.settle(entry.sequence, make_outcome())
+        assert settled is not None and settled.settled
+        assert settled.outcome.tuples_charged == 120.0
+        assert settled.outcome.session_id == 7
+        # the stored entry is the settled one
+        (stored,) = log.snapshot()
+        assert stored.settled
+
+    def test_first_settle_wins(self):
+        log = QueryLog()
+        entry = log.record(make_query(1))
+        log.settle(entry.sequence, make_outcome(rungs_climbed=1))
+        again = log.settle(entry.sequence, make_outcome(rungs_climbed=9))
+        assert again.outcome.rungs_climbed == 1
+
+    def test_settle_tolerates_window_eviction(self):
+        log = QueryLog(max_entries=2)
+        first = log.record(make_query(0))
+        for i in range(1, 4):
+            log.record(make_query(i))
+        assert log.settle(first.sequence, make_outcome()) is None
+        # surviving entries still settle by absolute sequence number
+        assert log.settle(3, make_outcome()) is not None
+
+    def test_settle_unknown_sequence(self):
+        log = QueryLog()
+        log.record(make_query(0))
+        assert log.settle(99, make_outcome()) is None
