@@ -65,6 +65,10 @@ from repro.core import (
     BoundedQueryProcessor,
     BoundedResult,
     Contract,
+    ContractMonitor,
+    ContractVerdict,
+    GateReport,
+    GateSpec,
     Impression,
     ImpressionHierarchy,
     LastSeenPolicy,
@@ -74,7 +78,9 @@ from repro.core import (
     RejectedQuery,
     SciBorq,
     SciBorqServer,
+    ServerReport,
     Session,
+    SlaReport,
     UniformPolicy,
     build_hierarchy,
 )
@@ -110,6 +116,10 @@ __all__ = [
     "BoundedQueryProcessor",
     "BoundedResult",
     "Contract",
+    "ContractMonitor",
+    "ContractVerdict",
+    "GateReport",
+    "GateSpec",
     "Impression",
     "ImpressionHierarchy",
     "LastSeenPolicy",
@@ -119,7 +129,9 @@ __all__ = [
     "RejectedQuery",
     "SciBorq",
     "SciBorqServer",
+    "ServerReport",
     "Session",
+    "SlaReport",
     "UniformPolicy",
     "build_hierarchy",
     "BudgetExceededError",

@@ -9,6 +9,9 @@ roughly what factor, where crossovers fall" without pinning absolute
 numbers.
 """
 
+# NOTE: repro.bench.gates is deliberately not re-exported here — the
+# package is imported before ``python -m repro.bench.gates`` executes
+# the module, and an eager import would run it twice (runpy warns).
 from repro.bench.harness import (
     ExperimentContext,
     figure4_series,

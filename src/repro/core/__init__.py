@@ -37,6 +37,10 @@
   region-popularity model that prewarms predicted-hot impressions
   and blocks, weights maintenance budgets, and recommends ladder
   entry points.
+* :mod:`repro.core.monitor` — runtime contract monitoring: every
+  settled query scored against its contract
+  (:class:`ContractVerdict`), streamed into fleet SLA aggregates
+  (:class:`SlaReport`) and tiered quality gates (:class:`GateSpec`).
 """
 
 from repro.core.admission import (
@@ -62,10 +66,26 @@ from repro.core.bounded import (
     ExecutionAttempt,
     BoundedQueryProcessor,
 )
-from repro.core.engine import SciBorq
+from repro.core.engine import EngineReport, SciBorq
+from repro.core.monitor import (
+    ContractMonitor,
+    ContractVerdict,
+    GateReport,
+    GateResult,
+    GateSpec,
+    HistogramSummary,
+    MetricGate,
+    SlaBucket,
+    SlaReport,
+)
 from repro.core.scheduler import SchedulerStats, SharedScanScheduler
 from repro.core.session import Session, SessionStats
-from repro.core.server import SciBorqServer, ShutdownReport
+from repro.core.server import (
+    SciBorqServer,
+    ServerReport,
+    SessionInfo,
+    ShutdownReport,
+)
 from repro.core.intelligence import WorkloadIntelligenceService
 from repro.core.persistence import (
     load_hierarchy,
@@ -108,4 +128,16 @@ __all__ = [
     "SharedScanScheduler",
     "Session",
     "SessionStats",
+    "ContractMonitor",
+    "ContractVerdict",
+    "EngineReport",
+    "GateReport",
+    "GateResult",
+    "GateSpec",
+    "HistogramSummary",
+    "MetricGate",
+    "ServerReport",
+    "SessionInfo",
+    "SlaBucket",
+    "SlaReport",
 ]

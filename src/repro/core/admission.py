@@ -85,6 +85,11 @@ class RejectedQuery:
     retry_after: float
     queued: int
     inflight: int
+    #: The contract the shed query asked for, when the shed happened
+    #: at admission time (``None`` for shutdown evictions, which are
+    #: built without one).  The contract monitor reads the tier off it
+    #: so a shed gold query counts against the gold denominator.
+    contract: Optional[Contract] = None
 
     def describe(self) -> str:
         """One-line form used by the raising path and logs."""
@@ -344,7 +349,7 @@ class AdmissionController:
             self._submitted += 1
             reason = self._shed_reason(session)
             if reason is not None:
-                rejection = self._reject(session, query, reason)
+                rejection = self._reject(session, query, reason, contract)
                 raise OverloadedError(rejection)
             ticket = AdmissionTicket(
                 session,
@@ -391,7 +396,11 @@ class AdmissionController:
         return max(0, self.max_inflight - self._inflight)
 
     def _reject(
-        self, session: "Session", query: "Query", reason: str
+        self,
+        session: "Session",
+        query: "Query",
+        reason: str,
+        contract: Optional[Contract] = None,
     ) -> RejectedQuery:
         if reason == "queue_full":
             self._shed_queue_full += 1
@@ -414,6 +423,7 @@ class AdmissionController:
             retry_after=retry_after,
             queued=len(self._waiting),
             inflight=self._inflight,
+            contract=contract,
         )
 
     def _pressure(self) -> float:

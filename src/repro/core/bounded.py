@@ -120,6 +120,11 @@ class BoundedResult:
     met_budget: bool = True
     total_cost: float = 0.0
     degraded: bool = False
+    #: The contract this execution ran under (None on legacy paths
+    #: that never threaded one through).  Carries the SLA tier when
+    #: the contract came from a preset, so :meth:`describe` can name
+    #: the promise without a side lookup.
+    contract: Optional[Contract] = None
 
     @property
     def achieved_error(self) -> float:
@@ -132,9 +137,19 @@ class BoundedResult:
         return max(0, len(self.attempts) - 1)
 
     def describe(self) -> str:
-        """Multi-line trace of the escalation ladder."""
+        """Multi-line trace of the escalation ladder.
+
+        When the contract came from a tier preset the header names it
+        (``bounded execution [gold]: ...``) — promise-vs-achieved in
+        one line; untiered executions render exactly as before.
+        """
+        tier = (
+            f" [{self.contract.tier}]"
+            if self.contract is not None and self.contract.tier is not None
+            else ""
+        )
         lines = [
-            f"bounded execution: {len(self.attempts)} attempt(s), "
+            f"bounded execution{tier}: {len(self.attempts)} attempt(s), "
             f"total cost {self.total_cost:g}, "
             f"achieved error {self.achieved_error:.4g}, "
             f"quality={'met' if self.met_quality else 'MISSED'}, "
@@ -562,6 +577,7 @@ class BoundedQueryProcessor:
             met_quality=met_quality,
             met_budget=met_budget,
             total_cost=call_spent,
+            contract=contract,
         )
 
     def _snapshot(
@@ -593,6 +609,7 @@ class BoundedQueryProcessor:
                 met_budget=contract.time_budget is None
                 or spent <= contract.time_budget,
                 total_cost=spent,
+                contract=contract,
             )
         return ProgressUpdate(
             rung=len(attempts) - 1,
@@ -609,6 +626,7 @@ class BoundedQueryProcessor:
             ),
             attempt=attempt,
             partial=partial,
+            contract=contract,
         )
 
     # ------------------------------------------------------------------

@@ -13,6 +13,8 @@ Contract(budget<=10000)
 Contract(error<=0.05, budget<=10000)
 >>> Contract.exact()                            # base data, zero error
 Contract(exact)
+>>> Contract.gold()                             # tiered SLA preset
+Contract(gold: error<=0.01, conf=0.99)
 
 Contracts flow unchanged through every layer — ``engine.submit`` /
 ``engine.execute``, ``Session``, ``SciBorqServer`` — so a bound
@@ -67,6 +69,12 @@ class Contract:
     is_exact:
         Route straight to the base data — one exact attempt, no
         escalation ladder.  Set via :meth:`exact`, never directly.
+    tier:
+        The SLA tier this contract came from (``"bronze"`` /
+        ``"silver"`` / ``"gold"``), or ``None`` for an ad-hoc
+        contract.  Set by the preset constructors, never directly —
+        the :class:`~repro.core.monitor.ContractMonitor` aggregates
+        compliance per tier and the quality gates key on it.
     """
 
     max_relative_error: Optional[float] = None
@@ -75,6 +83,7 @@ class Contract:
     strict: bool = False
     hierarchy: Optional[str] = None
     is_exact: bool = False
+    tier: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_relative_error is not None and self.max_relative_error < 0:
@@ -130,6 +139,41 @@ class Contract:
         return cls()
 
     # ------------------------------------------------------------------
+    # tiered SLA presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def bronze(cls) -> "Contract":
+        """Best-effort tier: worst relative error at most 10%."""
+        return cls(max_relative_error=0.10, tier="bronze")
+
+    @classmethod
+    def silver(cls) -> "Contract":
+        """Standard tier: worst relative error at most 5%."""
+        return cls(max_relative_error=0.05, tier="silver")
+
+    @classmethod
+    def gold(cls) -> "Contract":
+        """Premium tier: error at most 1%, assessed at 99% confidence."""
+        return cls(max_relative_error=0.01, confidence=0.99, tier="gold")
+
+    @classmethod
+    def preset(cls, name: str) -> "Contract":
+        """Resolve a tier name (``"bronze"``/``"silver"``/``"gold"``).
+
+        The string spelling accepted by ``open_session(contract=
+        "gold")`` and ``SciBorqServer(contract="gold")``; unknown
+        names raise :class:`~repro.errors.QueryError`.
+        """
+        try:
+            factory = _TIER_PRESETS[name.strip().lower()]
+        except (KeyError, AttributeError):
+            known = ", ".join(sorted(_TIER_PRESETS))
+            raise QueryError(
+                f"unknown contract tier {name!r}; expected one of {known}"
+            ) from None
+        return factory(cls)
+
+    # ------------------------------------------------------------------
     # modifiers (functional: each returns a new value)
     # ------------------------------------------------------------------
     def strictly(self) -> "Contract":
@@ -156,7 +200,11 @@ class Contract:
         whichever side set it away from :data:`DEFAULT_CONFIDENCE`
         (a side whose confidence equals the default is treated as
         unset); ``strict`` and ``exact`` are sticky; differing
-        explicit hierarchies conflict.
+        explicit hierarchies conflict.  A combined contract carries no
+        tier label: once a preset is altered by combination it is no
+        longer the preset's promise (the field-preserving modifiers —
+        :meth:`strictly`, :meth:`with_confidence`,
+        :meth:`on_hierarchy` — keep it, the quality bound is intact).
         """
         if not isinstance(other, Contract):
             return NotImplemented
@@ -224,10 +272,23 @@ class Contract:
             parts.append("strict")
         if self.hierarchy is not None:
             parts.append(f"hierarchy={self.hierarchy!r}")
-        return f"Contract({', '.join(parts) or 'unconstrained'})"
+        body = ", ".join(parts) or "unconstrained"
+        if self.tier is not None:
+            return f"Contract({self.tier}: {body})"
+        return f"Contract({body})"
 
     def __repr__(self) -> str:
         return self.describe()
+
+
+#: Tier name -> preset factory: the single registry behind
+#: :meth:`Contract.preset` and the ``contract="gold"`` string spelling
+#: accepted by the session and server layers.
+_TIER_PRESETS = {
+    "bronze": lambda cls: cls.bronze(),
+    "silver": lambda cls: cls.silver(),
+    "gold": lambda cls: cls.gold(),
+}
 
 
 def legacy_contract(

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -56,6 +57,7 @@ from repro.core.maintenance import (
     refresh_hierarchy,
     refresh_hierarchy_budgeted,
 )
+from repro.core.monitor import ContractMonitor, SlaReport
 from repro.core.policy import (
     BiasedPolicy,
     LastSeenPolicy,
@@ -73,6 +75,62 @@ from repro.workload.drift import DriftDetector
 from repro.workload.interest import InterestModel
 from repro.workload.log import QueryLog, QueryLogEntry, QueryOutcome
 from repro.workload.predicates import PredicateSetCollector
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Structured engine state: what :meth:`SciBorq.summary` renders.
+
+    Every field is a plain value (or a pre-rendered sub-describe from
+    the owning component), so tooling can read the numbers without
+    parsing the legacy string — ``render()`` reproduces the historical
+    ``summary()`` output byte-for-byte from these fields.
+    """
+
+    #: ``catalog.summary()`` — table names, row counts, FKs.
+    catalog_summary: str
+    #: One ``hierarchy.describe()`` line per impression hierarchy.
+    hierarchies: Tuple[str, ...]
+    #: Settled entries in the query log.
+    query_log_entries: int
+    #: ``repr`` of the interest model (attributes + bin counts).
+    interest: str
+    #: Workload drift events seen by the maintenance planner.
+    drift_events: int
+    #: ``intelligence.describe()`` when a service is attached.
+    intelligence: Optional[str]
+    #: Engine clock reading, in cost units.
+    clock_now: float
+    #: Full :meth:`SciBorq.memory_report` mapping.
+    memory: Mapping[str, object]
+    #: Fleet SLA aggregates when a contract monitor is installed.
+    sla: Optional[SlaReport]
+
+    def render(self) -> str:
+        """The legacy ``summary()`` text, unchanged line for line."""
+        lines = [self.catalog_summary]
+        lines.extend(self.hierarchies)
+        lines.append(
+            f"query log: {self.query_log_entries} entries; interest: "
+            f"{self.interest}; drift events: {self.drift_events}"
+        )
+        if self.intelligence is not None:
+            lines.append(self.intelligence)
+        lines.append(f"clock: {self.clock_now:g} cost units")
+        tiers = self.memory["tiers"]
+        memory_line = (
+            f"memory: {self.memory['ram_total']} B RAM "
+            f"(hot {tiers['hot']}, warm {tiers['warm']}, "
+            f"impressions {self.memory['impressions_bytes']}, "
+            f"recycler {self.memory['recycler_bytes']}); "
+            f"cold spill {self.memory['cold_bytes']} B"
+        )
+        if "budget_bytes" in self.memory:
+            memory_line += f"; budget {self.memory['budget_bytes']} B"
+        lines.append(memory_line)
+        if self.sla is not None:
+            lines.append(self.sla.describe())
+        return "\n".join(lines)
 
 
 class SciBorq:
@@ -156,6 +214,11 @@ class SciBorq:
         # maintenance budget, and advises initial rungs
         # (core/intelligence).
         self._intelligence = None
+        # contract monitor (installed by the server layer or directly):
+        # turns every settled query into a ContractVerdict and streams
+        # fleet SLA aggregates — pure observation, never a mutation
+        # (core/monitor).
+        self._monitor: Optional[ContractMonitor] = None
         # Serialises workload bookkeeping (query log, predicate
         # collector, interest, drift) so concurrent sessions can share
         # one engine; the server layer relies on this.
@@ -435,6 +498,25 @@ class SciBorq:
         """The installed workload-intelligence service, or ``None``."""
         return self._intelligence
 
+    def set_monitor(self, monitor: Optional[ContractMonitor]) -> None:
+        """Install (or remove, with ``None``) a contract monitor.
+
+        Every settle path — bounded and exact submissions, with or
+        without a session — then records a
+        :class:`~repro.core.monitor.ContractVerdict` into the
+        monitor's fleet aggregates.  Observation only: answers,
+        charges, and attempt traces are byte-identical with a monitor
+        installed or not.  The server layer installs one by default
+        (``SciBorqServer(monitor=...)``) and also feeds it admission
+        sheds, which never reach the engine.
+        """
+        self._monitor = monitor
+
+    @property
+    def monitor(self) -> Optional[ContractMonitor]:
+        """The installed contract monitor, or ``None``."""
+        return self._monitor
+
     def mine_workload(self) -> int:
         """Fold new query-log entries into the mined model (no-op
         without an intelligence service); returns entries mined."""
@@ -571,14 +653,17 @@ class SciBorq:
             self.collector.observe(query)
         submitted = time.perf_counter()
         if contract.is_exact:
-            return QueryHandle(
+            handle = QueryHandle(
                 query,
                 contract,
                 self._run_exact(query, contract, context, context_factory),
-                finalize=lambda outcome: self._settle_entry(
-                    entry, outcome, submitted, session_id
-                ),
             )
+            # the settle hook wants the handle's own queue/run split,
+            # so the finalize callback is attached after construction
+            handle._finalize = lambda outcome: self._settle_entry(
+                entry, outcome, submitted, session_id, contract, handle
+            )
+            return handle
         if query.table not in self._processors or not self._processors[query.table]:
             raise QueryError(
                 f"no hierarchy for table {query.table!r}; create one or "
@@ -586,17 +671,20 @@ class SciBorq:
                 f"legacy spelling)"
             )
         processor = self.processor(query.table, hierarchy)
-        return QueryHandle(
+        handle = QueryHandle(
             query,
             contract,
             self._run_bounded(processor, query, contract, context, context_factory),
-            finalize=lambda outcome: self._settle_entry(
-                entry,
-                self._finalize_outcome(query, outcome),
-                submitted,
-                session_id,
-            ),
         )
+        handle._finalize = lambda outcome: self._settle_entry(
+            entry,
+            self._finalize_outcome(query, outcome),
+            submitted,
+            session_id,
+            contract,
+            handle,
+        )
+        return handle
 
     def execute(
         self,
@@ -670,17 +758,25 @@ class SciBorq:
             context.spent if context is not None else self.clock.now
         ) - charge_base
         self._offer_recycled_rows(query)
+        wall_seconds = time.perf_counter() - started
         self.query_log.settle(
             entry.sequence,
             QueryOutcome(
                 tuples_charged=float(charged),
                 rungs_climbed=1,
                 achieved_error=0.0,
-                wall_seconds=time.perf_counter() - started,
+                wall_seconds=wall_seconds,
                 session_id=session_id,
                 degraded=False,
             ),
         )
+        if self._monitor is not None:
+            self._monitor.observe_exact(
+                query,
+                spent=float(charged),
+                session_id=session_id,
+                wall_seconds=wall_seconds,
+            )
         return result
 
     def _promote_for_exact(self, query: Query) -> None:
@@ -764,6 +860,7 @@ class SciBorq:
             met_quality=True,
             met_budget=met_budget,
             total_cost=spent,
+            contract=contract,
         )
         yield ProgressUpdate(
             rung=0,
@@ -780,6 +877,7 @@ class SciBorq:
             ),
             attempt=attempt,
             partial=outcome,
+            contract=contract,
         )
         if contract.strict and not met_budget:
             raise BudgetExceededError(contract.time_budget, spent)
@@ -805,6 +903,8 @@ class SciBorq:
         outcome: BoundedResult,
         submitted: float,
         session_id: Optional[int],
+        contract: Optional[Contract] = None,
+        handle: Optional[QueryHandle] = None,
     ) -> BoundedResult:
         """Stamp a finished outcome back onto its query-log entry.
 
@@ -812,19 +912,36 @@ class SciBorq:
         fleet-wide asset the workload miner feeds on: every settled
         entry carries what the query *cost* (tuples charged, rungs
         climbed, wall seconds) and what it *achieved* (relative error,
-        degraded flag), keyed by the submitting session.
+        degraded flag), keyed by the submitting session.  The settle
+        is also where the contract monitor (when installed) records
+        its :class:`~repro.core.monitor.ContractVerdict` — reading
+        the outcome, never touching it.
         """
+        wall_seconds = time.perf_counter() - submitted
         self.query_log.settle(
             entry.sequence,
             QueryOutcome(
                 tuples_charged=float(outcome.total_cost),
                 rungs_climbed=len(outcome.attempts),
                 achieved_error=float(outcome.achieved_error),
-                wall_seconds=time.perf_counter() - submitted,
+                wall_seconds=wall_seconds,
                 session_id=session_id,
                 degraded=bool(outcome.degraded),
             ),
         )
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.observe(
+                entry.query,
+                contract if contract is not None else Contract(),
+                outcome,
+                session_id=session_id,
+                wall_seconds=wall_seconds,
+                queue_seconds=(
+                    None if handle is None else handle.queue_seconds
+                ),
+                run_seconds=None if handle is None else handle.run_seconds,
+            )
         return outcome
 
     def _apply_extrema(self, query: Query, outcome: BoundedResult) -> None:
@@ -937,29 +1054,38 @@ class SciBorq:
         )
 
     # ------------------------------------------------------------------
+    def report(self) -> EngineReport:
+        """Structured engine state (:class:`EngineReport`).
+
+        The typed face of :meth:`summary`: same facts, plain fields
+        instead of a formatted string.  ``report().render()`` is
+        exactly the legacy summary text.
+        """
+        hierarchies = tuple(
+            hierarchy.describe()
+            for named in self._hierarchies.values()
+            for hierarchy in named.values()
+        )
+        return EngineReport(
+            catalog_summary=self.catalog.summary(),
+            hierarchies=hierarchies,
+            query_log_entries=len(self.query_log),
+            interest=repr(self.interest),
+            drift_events=self.planner.drift_events,
+            intelligence=(
+                self._intelligence.describe()
+                if self._intelligence is not None
+                else None
+            ),
+            clock_now=self.clock.now,
+            memory=self.memory_report(),
+            sla=self._monitor.report() if self._monitor is not None else None,
+        )
+
     def summary(self) -> str:
-        """Engine state overview for examples and debugging."""
-        lines = [self.catalog.summary()]
-        for named in self._hierarchies.values():
-            for hierarchy in named.values():
-                lines.append(hierarchy.describe())
-        lines.append(
-            f"query log: {len(self.query_log)} entries; interest: "
-            f"{self.interest!r}; drift events: {self.planner.drift_events}"
-        )
-        if self._intelligence is not None:
-            lines.append(self._intelligence.describe())
-        lines.append(f"clock: {self.clock.now:g} cost units")
-        report = self.memory_report()
-        tiers = report["tiers"]
-        memory_line = (
-            f"memory: {report['ram_total']} B RAM "
-            f"(hot {tiers['hot']}, warm {tiers['warm']}, "
-            f"impressions {report['impressions_bytes']}, "
-            f"recycler {report['recycler_bytes']}); "
-            f"cold spill {report['cold_bytes']} B"
-        )
-        if "budget_bytes" in report:
-            memory_line += f"; budget {report['budget_bytes']} B"
-        lines.append(memory_line)
-        return "\n".join(lines)
+        """Engine state overview for examples and debugging.
+
+        A thin renderer over :meth:`report` — use the typed report
+        when you need the numbers rather than the prose.
+        """
+        return self.report().render()

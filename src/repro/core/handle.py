@@ -96,6 +96,11 @@ class ProgressUpdate:
     #: Wall seconds of actual drain time when this update was
     #: produced (None: not server-queued).
     run_seconds: Optional[float] = None
+    #: The contract this execution runs under — promise next to
+    #: achievement, so a consumer can render "error 0.03 vs <=0.05
+    #: (silver)" from the update alone, without a side lookup to the
+    #: handle (None only on legacy streams that predate the field).
+    contract: Optional["Contract"] = None
 
     def describe(self) -> str:
         """One-line trace used by examples and debugging."""

@@ -67,6 +67,7 @@ import numpy as np
 from repro.columnstore.query import Query
 from repro.core.admission import (
     AdmissionController,
+    AdmissionStats,
     AdmissionTicket,
     RejectedQuery,
     admission_from_env,
@@ -74,13 +75,14 @@ from repro.core.admission import (
 from repro.core.bounded import BoundedResult
 from repro.core.contracts import Contract
 from repro.core.engine import SciBorq
-from repro.core.governor import MemoryGovernor, governor_from_env
+from repro.core.governor import GovernorStats, MemoryGovernor, governor_from_env
 from repro.core.handle import QueryHandle
 from repro.core.intelligence import WorkloadIntelligenceService
 from repro.core.maintenance import RefreshReport
-from repro.core.scheduler import SharedScanScheduler
+from repro.core.monitor import ContractMonitor, SlaReport
+from repro.core.scheduler import SchedulerStats, SharedScanScheduler
 from repro.core.session import Session
-from repro.core.shards import ShardPool
+from repro.core.shards import ShardPool, ShardPoolStats
 from repro.errors import OverloadedError, SessionError
 from repro.util.clock import ExecutionContext
 from repro.util.concurrency import ReadWriteLock
@@ -104,6 +106,98 @@ class ShutdownReport:
     drained: int = 0
     cancelled: int = 0
     evicted: int = 0
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """One session's line in a :class:`ServerReport` snapshot."""
+
+    session_id: int
+    name: str
+    closed: bool
+    queries: int
+    cost: float
+
+    def render(self) -> str:
+        """Exactly the session's ``repr`` at snapshot time."""
+        state = "closed" if self.closed else "open"
+        return (
+            f"Session({self.name!r}, id={self.session_id}, {state}, "
+            f"queries={self.queries}, cost={self.cost:g})"
+        )
+
+
+@dataclass(frozen=True)
+class ServerReport:
+    """Structured server state: what :meth:`SciBorqServer.summary`
+    renders.
+
+    Each optional field is ``None`` when the corresponding subsystem
+    is not installed; the stats fields are the subsystems' own frozen
+    snapshot types, taken under their own locks, so a report is a
+    consistent point-in-time picture.  ``render()`` reproduces the
+    historical ``summary()`` text byte-for-byte from these fields.
+    """
+
+    #: Open sessions at snapshot time, one :class:`SessionInfo` each.
+    open_sessions: Tuple[SessionInfo, ...]
+    queries_served: int
+    queries_failed: int
+    pool_workers: int
+    #: Engine clock (all sessions + maintenance), in cost units.
+    engine_clock: float
+    admission: Optional[AdmissionStats]
+    scheduler: Optional[SchedulerStats]
+    shards: Optional[ShardPoolStats]
+    #: Full :meth:`~repro.core.engine.SciBorq.memory_report` mapping.
+    memory: Mapping[str, object]
+    governor_budget: Optional[int]
+    governor: Optional[GovernorStats]
+    #: ``intelligence.describe()`` when a service is installed.
+    intelligence: Optional[str]
+    #: Fleet SLA aggregates when a contract monitor is installed.
+    sla: Optional[SlaReport]
+
+    def render(self) -> str:
+        """The legacy ``summary()`` text, unchanged line for line."""
+        lines = [
+            f"SciBorqServer: {len(self.open_sessions)} open session(s), "
+            f"{self.queries_served} queries served, "
+            f"{self.queries_failed} failed, "
+            f"pool={self.pool_workers} workers",
+        ]
+        lines.extend(f"  {info.render()}" for info in self.open_sessions)
+        lines.append(
+            f"  engine clock (all sessions + maintenance): "
+            f"{self.engine_clock:g}"
+        )
+        if self.admission is not None:
+            lines.append(f"  {self.admission.describe()}")
+        if self.scheduler is not None:
+            lines.append(f"  {self.scheduler.describe()}")
+        if self.shards is not None:
+            lines.append(f"  {self.shards.describe()}")
+        tiers = self.memory["tiers"]
+        lines.append(
+            f"  memory: {self.memory['ram_total']} B RAM "
+            f"(hot {tiers['hot']}, "
+            f"warm {tiers['warm']}, impressions "
+            f"{self.memory['impressions_bytes']}, recycler "
+            f"{self.memory['recycler_bytes']}); "
+            f"cold spill {self.memory['cold_bytes']} B"
+        )
+        if self.governor is not None:
+            lines.append(
+                f"  governor: budget {self.governor_budget} B, "
+                f"demotions warm/cold {self.governor.demotions_warm}/"
+                f"{self.governor.demotions_cold}, "
+                f"promotions {self.governor.promotions}"
+            )
+        if self.intelligence is not None:
+            lines.append(f"  {self.intelligence}")
+        if self.sla is not None:
+            lines.append(f"  {self.sla.describe()}")
+        return "\n".join(lines)
 
 
 class SciBorqServer:
@@ -173,6 +267,24 @@ class SciBorqServer:
         drift-reaction refresh budgets by table popularity and powers
         ``Session.recommend``.  Shutdown restores whatever service the
         engine carried before.
+    monitor:
+        Runtime contract monitoring (default **on**).  ``None`` or
+        ``True`` installs a fresh :class:`~repro.core.monitor.
+        ContractMonitor` into the engine; a ready monitor is installed
+        as-is (e.g. one shared across servers); ``False`` forces it
+        off.  The monitor is pure observation — it watches every
+        settled query and admission shed and aggregates per-tier /
+        per-session SLA compliance, error-margin and latency
+        histograms, and a bounded violation log (``server.report().
+        sla``) — answers, charges, and attempt traces are byte-
+        identical with it on or off.  Shutdown restores whatever
+        monitor the engine carried before.
+    contract:
+        Server-wide default :class:`Contract` for new sessions
+        (default: none — sessions open unconstrained as before).  A
+        tier name string (``"bronze"``/``"silver"``/``"gold"``)
+        resolves through :meth:`Contract.preset`.  A session's own
+        ``contract=`` (or deprecated per-field kwargs) always wins.
     """
 
     def __init__(
@@ -185,6 +297,8 @@ class SciBorqServer:
         memory_budget: Union[int, MemoryGovernor, None] = None,
         admission: Union[bool, AdmissionController, None] = None,
         intelligence: Union[bool, WorkloadIntelligenceService, None] = None,
+        monitor: Union[bool, ContractMonitor, None] = None,
+        contract: Union[Contract, str, None] = None,
     ) -> None:
         self.engine = engine
         if max_workers is None:
@@ -254,6 +368,25 @@ class SciBorqServer:
                 self.intelligence.model.bins,
                 self.intelligence.prewarm_every,
             )
+        self._previous_monitor = engine.monitor
+        self.monitor: Optional[ContractMonitor] = None
+        if isinstance(monitor, ContractMonitor):
+            self.monitor = monitor
+        elif monitor is not False:
+            # default ON: monitoring is pure observation, so there is
+            # no accuracy or byte-identity cost to paying for it
+            self.monitor = ContractMonitor()
+        if self.monitor is not None:
+            engine.set_monitor(self.monitor)
+            logging.getLogger("repro.monitor").info(
+                "contract monitoring: on, violation retention %d",
+                self.monitor.violation_retention,
+            )
+        #: Server-wide default contract applied by ``open_session``
+        #: when the caller specifies nothing at all.
+        self.default_contract: Optional[Contract] = (
+            Contract.preset(contract) if isinstance(contract, str) else contract
+        )
         self.admission: Optional[AdmissionController] = None
         if isinstance(admission, AdmissionController):
             self.admission = admission
@@ -290,7 +423,7 @@ class SciBorqServer:
     def open_session(
         self,
         name: Optional[str] = None,
-        contract: Optional[Contract] = None,
+        contract: Union[Contract, str, None] = None,
         max_relative_error: Optional[float] = None,
         time_budget: Optional[float] = None,
         confidence: Optional[float] = None,
@@ -300,9 +433,13 @@ class SciBorqServer:
     ) -> Session:
         """Open a new session with its own default contract.
 
-        ``contract`` is the session's default :class:`Contract`; the
+        ``contract`` is the session's default :class:`Contract` — a
+        value, or a tier name string (``"bronze"``/``"silver"``/
+        ``"gold"``) resolved through :meth:`Contract.preset`; the
         per-field keywords are the deprecated spelling (the
-        :class:`Session` constructor resolves and warns).
+        :class:`Session` constructor resolves and warns).  When the
+        caller specifies nothing at all, the server's own
+        ``contract=`` default (if any) applies.
         ``shared_scans=False`` keeps this user's scans out of the
         server's shared-scan convoys (answers and charges are
         identical either way; opting out only forgoes the wall-clock
@@ -310,6 +447,15 @@ class SciBorqServer:
         weight under overload (ignored without admission control).
         """
         self._require_open()
+        if (
+            contract is None
+            and self.default_contract is not None
+            and max_relative_error is None
+            and time_budget is None
+            and confidence is None
+            and not strict
+        ):
+            contract = self.default_contract
         with self._admin_lock:
             session_id = self._next_session_id
             self._next_session_id += 1
@@ -326,7 +472,9 @@ class SciBorqServer:
                 weight=weight,
             )
             self._sessions[session_id] = session
-            return session
+        if self.monitor is not None:
+            self.monitor.note_session(session_id, session.name)
+        return session
 
     def close_session(self, session: Session) -> None:
         """Close one session (idempotent)."""
@@ -367,16 +515,20 @@ class SciBorqServer:
         contract = contract if contract is not None else session.defaults
         ticket: Optional[AdmissionTicket] = None
         if self.admission is not None:
-            ticket, contract = self.admission.admit(
-                session, query, contract, kind="blocking"
-            )
+            try:
+                ticket, contract = self.admission.admit(
+                    session, query, contract, kind="blocking"
+                )
+            except OverloadedError as exc:
+                self._observe_rejection(exc.rejection)
+                raise
             if not self.admission.wait(ticket):
                 # the controller closed while we queued: structured
                 # shutdown rejection, never a silent hang
                 self.admission.release(ticket)
-                raise OverloadedError(
-                    self._shutdown_rejection(session, query)
-                )
+                rejection = self._shutdown_rejection(session, query)
+                self._observe_rejection(rejection, contract)
+                raise OverloadedError(rejection)
         session.query_log.record(query)
         failed = True
         try:
@@ -430,6 +582,18 @@ class SciBorqServer:
             inflight=0,
         )
 
+    def _observe_rejection(
+        self, rejection: RejectedQuery, contract: Optional[Contract] = None
+    ) -> None:
+        """Feed one shed to the contract monitor.
+
+        Sheds never reach the engine's settle hook (nothing ran), so
+        the server reports them here — a broken promise counts in the
+        SLA denominator, it is not a gap in it.
+        """
+        if self.monitor is not None:
+            self.monitor.observe_rejection(rejection, contract)
+
     # ------------------------------------------------------------------
     # progressive execution (readers)
     # ------------------------------------------------------------------
@@ -463,9 +627,13 @@ class SciBorqServer:
         contract = contract if contract is not None else session.defaults
         ticket: Optional[AdmissionTicket] = None
         if self.admission is not None:
-            ticket, contract = self.admission.admit(
-                session, query, contract, kind="pool"
-            )
+            try:
+                ticket, contract = self.admission.admit(
+                    session, query, contract, kind="pool"
+                )
+            except OverloadedError as exc:
+                self._observe_rejection(exc.rejection)
+                raise
         session.query_log.record(query)
         handle = self.engine.submit(
             query,
@@ -512,7 +680,9 @@ class SciBorqServer:
         """Fail a handle whose drain was overtaken by shutdown."""
         if handle.done:
             return
-        handle._fail(OverloadedError(self._shutdown_rejection(session, query)))
+        rejection = self._shutdown_rejection(session, query)
+        self._observe_rejection(rejection, handle.contract)
+        handle._fail(OverloadedError(rejection))
         with self._admin_lock:
             self._active_handles.discard(handle)
 
@@ -849,11 +1019,17 @@ class SciBorqServer:
                 if ticket.payload is None:
                     continue  # a blocking ticket; its own thread sees False
                 evicted_handle = ticket.payload[0]
-                evicted_handle._fail(
-                    OverloadedError(
-                        self._shutdown_rejection(ticket.session, ticket.query)
-                    )
+                rejection = self._shutdown_rejection(
+                    ticket.session, ticket.query
                 )
+                if not evicted_handle.done:
+                    # an already-settled handle was observed by
+                    # whichever path settled it; counting here too
+                    # would double-book the shed
+                    self._observe_rejection(
+                        rejection, evicted_handle.contract
+                    )
+                evicted_handle._fail(OverloadedError(rejection))
                 forced.add(evicted_handle)
         with self._admin_lock:
             active = list(self._active_handles)
@@ -925,55 +1101,74 @@ class SciBorqServer:
             and self.engine.intelligence is self.intelligence
         ):
             self.engine.set_intelligence(self._previous_intelligence)
+        if (
+            self.monitor is not None
+            and self.engine.monitor is self.monitor
+        ):
+            self.engine.set_monitor(self._previous_monitor)
         return ShutdownReport(
             drained=drained, cancelled=cancelled, evicted=evicted
         )
 
-    def summary(self) -> str:
-        """Server state overview for examples and debugging.
+    def report(self) -> ServerReport:
+        """Structured server state (:class:`ServerReport`).
 
-        Every figure is a consistent snapshot: the admission,
-        scheduler, and shard-pool stats objects each snapshot under
-        their own lock, so concurrent mutation never tears a line.
+        The typed face of :meth:`summary`: every figure is a
+        consistent snapshot — the admission, scheduler, shard-pool,
+        and monitor stats objects each snapshot under their own lock,
+        so concurrent mutation never tears a field.  The fleet SLA
+        aggregates (``report().sla``) are present whenever a contract
+        monitor is installed (the default).
         """
         sessions = self.sessions
         with self._admin_lock:
             served = self._queries_served
             failed = self._queries_failed
-        lines = [
-            f"SciBorqServer: {len(sessions)} open session(s), "
-            f"{served} queries served, {failed} failed, "
-            f"pool={self.max_workers} workers",
-        ]
-        lines.extend(f"  {session!r}" for session in sessions)
-        lines.append(
-            f"  engine clock (all sessions + maintenance): "
-            f"{self.engine.clock.now:g}"
+        governor = self.memory_governor
+        return ServerReport(
+            open_sessions=tuple(
+                SessionInfo(
+                    session_id=session.session_id,
+                    name=session.name,
+                    closed=session.closed,
+                    queries=len(session.query_log),
+                    cost=session.clock.now,
+                )
+                for session in sessions
+            ),
+            queries_served=served,
+            queries_failed=failed,
+            pool_workers=self.max_workers,
+            engine_clock=self.engine.clock.now,
+            admission=(
+                self.admission.stats if self.admission is not None else None
+            ),
+            scheduler=(
+                self.scheduler.stats if self.scheduler is not None else None
+            ),
+            shards=(
+                self.shard_pool.stats if self.shard_pool is not None else None
+            ),
+            memory=self.engine.memory_report(),
+            governor_budget=(
+                governor.budget_bytes if governor is not None else None
+            ),
+            governor=governor.stats if governor is not None else None,
+            intelligence=(
+                self.intelligence.describe()
+                if self.intelligence is not None
+                else None
+            ),
+            sla=self.monitor.report() if self.monitor is not None else None,
         )
-        if self.admission is not None:
-            lines.append(f"  {self.admission.stats.describe()}")
-        if self.scheduler is not None:
-            lines.append(f"  {self.scheduler.stats.describe()}")
-        if self.shard_pool is not None:
-            lines.append(f"  {self.shard_pool.stats.describe()}")
-        report = self.engine.memory_report()
-        tiers = report["tiers"]
-        lines.append(
-            f"  memory: {report['ram_total']} B RAM (hot {tiers['hot']}, "
-            f"warm {tiers['warm']}, impressions "
-            f"{report['impressions_bytes']}, recycler "
-            f"{report['recycler_bytes']}); cold spill {report['cold_bytes']} B"
-        )
-        if self.memory_governor is not None:
-            stats = self.memory_governor.stats
-            lines.append(
-                f"  governor: budget {self.memory_governor.budget_bytes} B, "
-                f"demotions warm/cold {stats.demotions_warm}/"
-                f"{stats.demotions_cold}, promotions {stats.promotions}"
-            )
-        if self.intelligence is not None:
-            lines.append(f"  {self.intelligence.describe()}")
-        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Server state overview for examples and debugging.
+
+        A thin renderer over :meth:`report` — use the typed report
+        when you need the numbers rather than the prose.
+        """
+        return self.report().render()
 
     def __enter__(self) -> "SciBorqServer":
         return self

@@ -24,8 +24,9 @@ readers-writer lock.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.columnstore.query import Query
 from repro.core.bounded import BoundedResult
@@ -76,7 +77,9 @@ class Session:
         Human label (defaults to ``"session-<id>"``).
     contract:
         The session's default :class:`Contract`, applied to every
-        query not overriding it.
+        query not overriding it.  A tier name string (``"bronze"`` /
+        ``"silver"`` / ``"gold"``) resolves through
+        :meth:`Contract.preset`.
     max_relative_error / time_budget / confidence / strict:
         Deprecated per-field spelling of ``contract``; cannot be
         combined with it.
@@ -99,7 +102,7 @@ class Session:
         server: "SciBorqServer",
         session_id: int,
         name: Optional[str] = None,
-        contract: Optional[Contract] = None,
+        contract: Union[Contract, str, None] = None,
         max_relative_error: Optional[float] = None,
         time_budget: Optional[float] = None,
         confidence: Optional[float] = None,
@@ -109,6 +112,8 @@ class Session:
     ) -> None:
         if weight <= 0:
             raise SessionError(f"weight must be positive, got {weight}")
+        if isinstance(contract, str):
+            contract = Contract.preset(contract)
         self._server = server
         self.session_id = session_id
         self.name = name if name is not None else f"session-{session_id}"
@@ -160,7 +165,11 @@ class Session:
         ``time_budget=None`` runs unbounded despite a budgeted
         session).  Overriding the error bound on an exact-default
         session drops the exact routing — the caller asked for an
-        approximate answer, so the ladder must actually run.
+        approximate answer, so the ladder must actually run.  The SLA
+        tier label survives any override that leaves the quality bound
+        intact (a budgeted gold query is still a gold query); changing
+        the error bound drops it — the promise is no longer the
+        preset's.
         """
         return Contract(
             max_relative_error=(
@@ -179,6 +188,9 @@ class Session:
             strict=self.defaults.strict if strict is INHERIT else strict,
             hierarchy=self.defaults.hierarchy,
             is_exact=self.defaults.is_exact and max_relative_error is INHERIT,
+            tier=(
+                self.defaults.tier if max_relative_error is INHERIT else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -369,7 +381,7 @@ class Session:
         with self._history_lock:
             return list(self._history)
 
-    def stats(self) -> SessionStats:
+    def report(self) -> SessionStats:
         """Current activity summary.
 
         ``queries`` counts everything logged (bounded and exact);
@@ -388,6 +400,17 @@ class Session:
             budget_misses=sum(1 for r in history if not r.met_budget),
             failures=failures,
         )
+
+    def stats(self) -> SessionStats:
+        """Deprecated spelling of :meth:`report` (same value)."""
+        warnings.warn(
+            "Session.stats() is deprecated; use Session.report() — "
+            "same SessionStats, aligned with server.report() / "
+            "engine.report()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.report()
 
     def close(self) -> None:
         """Detach from the server; further execution raises."""

@@ -568,7 +568,7 @@ class TestFailureAccounting:
             while server.queries_failed == 0 and time.monotonic() < deadline:
                 time.sleep(0.01)
             assert server.queries_failed == 1
-            assert session.stats().failures == 1
+            assert session.report().failures == 1
             assert "1 failed" in server.summary()
             # the failure still reaches a caller who does ask
             with pytest.raises(Exception):
@@ -586,7 +586,7 @@ class TestFailureAccounting:
                     time_budget=600,
                 )
             assert server.queries_failed == 1
-            assert session.stats().failures == 1
+            assert session.report().failures == 1
 
     def test_admission_counts_failed_releases(self):
         ctrl = AdmissionController(max_inflight=1, degrade_threshold=None)

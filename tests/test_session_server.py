@@ -225,7 +225,7 @@ class TestSessionLifecycle:
         with SciBorqServer(make_engine()) as server:
             session = server.open_session("counter")
             session.execute(cone(150.0, 5.0), max_relative_error=0.5)
-            stats = session.stats()
+            stats = session.report()
             assert stats.queries == 1
             assert stats.total_cost == session.total_cost > 0
             assert server.queries_served == 1
